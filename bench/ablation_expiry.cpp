@@ -1,0 +1,64 @@
+// Ablation (paper section 6, future work): episode expiration.
+//
+// Two effects are measured: (1) functionally, tighter expiry windows make
+// fewer occurrences span chunk boundaries (fewer crossers to recover); (2) in
+// the performance model, the block kernels' rescan-based spanning fix costs
+// O(window) per boundary instead of the O(level * chunk) transfer scan, so
+// the reduce-side work shrinks — the paper's prediction.
+#include <iostream>
+
+#include "bench_support/paper_setup.hpp"
+#include "bench_support/report.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/segment_counter.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "kernels/workload_model.hpp"
+
+int main() {
+  using gm::core::Alphabet;
+  using gm::core::ExpiryPolicy;
+  using gm::core::Semantics;
+  using gm::core::SpanningFix;
+
+  // --- functional effect: crossers vs. window -------------------------------
+  const Alphabet alphabet(8);
+  const auto db = gm::data::uniform_database(alphabet, 40'000, 17);
+  const auto episodes = gm::core::all_distinct_episodes(alphabet, 3);
+
+  std::cout << "Expiry ablation (functional): boundary crossers vs. window\n";
+  std::cout << "window      crossers (64 chunks, 336 level-3 episodes, 40k symbols)\n";
+  for (const std::int64_t window : {0LL, 256LL, 64LL, 16LL, 4LL}) {
+    const ExpiryPolicy expiry{window};
+    std::int64_t crossers = 0;
+    for (const auto& e : episodes) {
+      const auto full = count_occurrences(e, db, Semantics::kNonOverlappedSubsequence, expiry);
+      const auto none = count_chunked(e, db, 64, Semantics::kNonOverlappedSubsequence, expiry,
+                                      SpanningFix::kNone);
+      crossers += full - none;
+    }
+    std::cout << (window == 0 ? "unbounded" : std::to_string(window))
+              << "\t    " << crossers << "\n";
+  }
+
+  // --- modelled effect: kernel time vs. window (Algorithm 3, level 3) -------
+  const auto device = gpusim::geforce_gtx_280();
+  std::cout << "\nExpiry ablation (modelled): Algo3 L3 kernel time on GTX280 @128tpb\n";
+  std::cout << "mode            predicted ms\n";
+  gm::kernels::WorkloadSpec spec;
+  spec.db_size = gm::data::kPaperDatabaseSize;
+  spec.episode_count = gm::bench::paper_episode_count(3);
+  spec.level = 3;
+  spec.params.algorithm = gm::kernels::Algorithm::kBlockTexture;
+  spec.params.threads_per_block = 128;
+
+  const gpusim::CostModel model;
+  std::cout << "composition     " << predict_mining_time(device, spec, model).total_ms
+            << "\n";
+  for (const std::int64_t window : {512LL, 64LL, 8LL}) {
+    spec.params.expiry = ExpiryPolicy{window};
+    std::cout << "expiry W=" << window << (window >= 100 ? "    " : window >= 10 ? "     " : "      ")
+              << predict_mining_time(device, spec, model).total_ms << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 6: impact of problem size (episode level) on the GTX 280 for each
+// algorithm — execution time relative to level 1 vs. threads per block.
+#include <iostream>
+
+#include "bench_support/paper_setup.hpp"
+#include "bench_support/report.hpp"
+#include "kernels/mining_kernels.hpp"
+
+int main() {
+  using gm::bench::paper_time_ms;
+  using gm::kernels::Algorithm;
+
+  const auto device = gpusim::geforce_gtx_280();
+  const auto sweep = gm::bench::paper_thread_sweep();
+
+  std::cout << "Figure 6: execution time relative to level 1 on the GTX 280\n";
+  for (const Algorithm algorithm : gm::kernels::all_algorithms()) {
+    gm::bench::SeriesTable table(
+        "Fig 6(" + std::string(1, static_cast<char>('a' + algorithm_number(algorithm) - 1)) +
+            "): " + to_string(algorithm) + " — time relative to level 1",
+        "tpb", sweep);
+    std::vector<double> level1;
+    level1.reserve(sweep.size());
+    for (const int tpb : sweep) level1.push_back(paper_time_ms(device, algorithm, 1, tpb));
+    for (int level = 1; level <= 3; ++level) {
+      gm::bench::Series series;
+      series.label = "Level" + std::to_string(level);
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        series.values.push_back(paper_time_ms(device, algorithm, level, sweep[i]) /
+                                level1[i]);
+      }
+      table.add(std::move(series));
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 7: impact of the algorithm on the GTX 280 at each problem size —
+// absolute time (ms) of all four algorithms vs. threads per block, plus the
+// "best configuration" summary of the paper's conclusion.
+#include <iostream>
+
+#include "bench_support/paper_setup.hpp"
+#include "bench_support/report.hpp"
+#include "kernels/mining_kernels.hpp"
+
+int main() {
+  using gm::bench::paper_time_ms;
+  using gm::kernels::Algorithm;
+
+  const auto device = gpusim::geforce_gtx_280();
+  const auto sweep = gm::bench::paper_thread_sweep();
+
+  std::cout << "Figure 7: execution time (ms) of each algorithm on the GTX 280\n";
+  for (int level = 1; level <= 3; ++level) {
+    gm::bench::SeriesTable table(
+        "Fig 7(" + std::string(1, static_cast<char>('a' + level - 1)) + "): level " +
+            std::to_string(level),
+        "tpb", sweep);
+    for (const Algorithm algorithm : gm::kernels::all_algorithms()) {
+      gm::bench::Series series;
+      series.label = "Algorithm" + std::to_string(algorithm_number(algorithm));
+      for (const int tpb : sweep) {
+        series.values.push_back(paper_time_ms(device, algorithm, level, tpb));
+      }
+      table.add(std::move(series));
+    }
+    table.print();
+
+    // Best configuration per level (paper conclusion paragraph).
+    double best_ms = 0.0;
+    Algorithm best_algorithm = Algorithm::kThreadTexture;
+    int best_tpb = 0;
+    bool first = true;
+    for (const Algorithm algorithm : gm::kernels::all_algorithms()) {
+      for (const int tpb : sweep) {
+        const double ms = paper_time_ms(device, algorithm, level, tpb);
+        if (first || ms < best_ms) {
+          best_ms = ms;
+          best_algorithm = algorithm;
+          best_tpb = tpb;
+          first = false;
+        }
+      }
+    }
+    std::cout << "Best at level " << level << ": " << to_string(best_algorithm) << " with "
+              << best_tpb << " threads/block (" << best_ms << " ms)\n";
+  }
+  return 0;
+}

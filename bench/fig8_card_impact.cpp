@@ -1,0 +1,41 @@
+// Figure 8: impact of the card — Algorithm 1 at level 2 (clock-bound,
+// oldest card fastest: C7) and Algorithm 3 at level 1 (bandwidth-bound,
+// newest card fastest: C8), across the three testbed cards.
+#include <iostream>
+
+#include "bench_support/paper_setup.hpp"
+#include "bench_support/report.hpp"
+#include "kernels/mining_kernels.hpp"
+
+int main() {
+  using gm::bench::paper_time_ms;
+  using gm::kernels::Algorithm;
+
+  const auto sweep = gm::bench::paper_thread_sweep();
+  const auto cards = gpusim::paper_testbed();
+  const std::vector<std::string> labels = {"8800GTS512", "9800GX2", "GTX280"};
+
+  struct Panel {
+    std::string name;
+    Algorithm algorithm;
+    int level;
+  };
+  const std::vector<Panel> panels = {
+      {"Fig 8(a): Algorithm 1 on level 2", Algorithm::kThreadTexture, 2},
+      {"Fig 8(b): Algorithm 3 on level 1", Algorithm::kBlockTexture, 1},
+  };
+
+  for (const auto& panel : panels) {
+    gm::bench::SeriesTable table(panel.name + " (ms)", "tpb", sweep);
+    for (std::size_t c = 0; c < cards.size(); ++c) {
+      gm::bench::Series series;
+      series.label = labels[c];
+      for (const int tpb : sweep) {
+        series.values.push_back(paper_time_ms(cards[c], panel.algorithm, panel.level, tpb));
+      }
+      table.add(std::move(series));
+    }
+    table.print();
+  }
+  return 0;
+}

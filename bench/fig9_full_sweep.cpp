@@ -1,0 +1,38 @@
+// Figure 9 (appendix): the complete 12-panel sweep — every algorithm at
+// every level across all three cards, time (ms) vs. threads per block.
+#include <iostream>
+
+#include "bench_support/paper_setup.hpp"
+#include "bench_support/report.hpp"
+#include "kernels/mining_kernels.hpp"
+
+int main() {
+  using gm::bench::paper_time_ms;
+  using gm::kernels::Algorithm;
+
+  const auto sweep = gm::bench::paper_thread_sweep();
+  const auto cards = gpusim::paper_testbed();
+  const std::vector<std::string> labels = {"8800GTS512", "9800GX2", "GTX280"};
+
+  std::cout << "Figure 9: all algorithm x level panels across the testbed (ms)\n";
+  int panel = 0;
+  for (const Algorithm algorithm : gm::kernels::all_algorithms()) {
+    for (int level = 1; level <= 3; ++level) {
+      gm::bench::SeriesTable table(
+          "Fig 9(" + std::string(1, static_cast<char>('a' + panel)) + "): " +
+              to_string(algorithm) + " on level " + std::to_string(level),
+          "tpb", sweep);
+      for (std::size_t c = 0; c < cards.size(); ++c) {
+        gm::bench::Series series;
+        series.label = labels[c];
+        for (const int tpb : sweep) {
+          series.values.push_back(paper_time_ms(cards[c], algorithm, level, tpb));
+        }
+        table.add(std::move(series));
+      }
+      table.print();
+      ++panel;
+    }
+  }
+  return 0;
+}

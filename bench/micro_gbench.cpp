@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the substrate itself: automaton
+// stepping, serial counting, chunked composition, cache simulation, the
+// functional engine, and the analytic model (which must stay in the
+// microsecond range to make full-scale sweeps free).
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_gen.hpp"
+#include "core/segment_counter.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "kernels/workload_model.hpp"
+#include "sim/cache.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using gm::core::Alphabet;
+using gm::core::Episode;
+using gm::core::Semantics;
+
+const Alphabet kAlphabet = Alphabet::english_uppercase();
+
+void BM_AutomatonScan(benchmark::State& state) {
+  const auto db = gm::data::uniform_database(kAlphabet, 100'000, 3);
+  const Episode episode = Episode::from_text(kAlphabet, "ABC");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        count_occurrences(episode, db, Semantics::kNonOverlappedSubsequence));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_AutomatonScan);
+
+void BM_ChunkedComposition(benchmark::State& state) {
+  const auto db = gm::data::uniform_database(kAlphabet, 100'000, 3);
+  const Episode episode = Episode::from_text(kAlphabet, "ABC");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_chunked(episode, db, static_cast<int>(state.range(0)),
+                                           Semantics::kNonOverlappedSubsequence, {},
+                                           gm::core::SpanningFix::kStateComposition));
+  }
+}
+BENCHMARK(BM_ChunkedComposition)->Arg(8)->Arg(64);
+
+void BM_CacheSimStream(benchmark::State& state) {
+  gpusim::CacheSim cache(8192, 32, 4);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(address));
+    address += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheSimStream);
+
+void BM_FunctionalEngineLaunch(benchmark::State& state) {
+  gpusim::EngineOptions opts;
+  opts.host_threads = 1;
+  opts.simulate_texture_cache = false;
+  const gpusim::Engine engine(gpusim::geforce_8800_gts_512(), opts);
+  const auto db = gm::data::uniform_database(kAlphabet, 2'000, 3);
+  const auto episodes = gm::core::all_distinct_episodes(kAlphabet, 1);
+  gm::kernels::MiningLaunchParams params;
+  params.algorithm = gm::kernels::Algorithm::kThreadTexture;
+  params.threads_per_block = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm::kernels::run_mining_kernel(engine, db, episodes, params));
+  }
+  state.SetItemsProcessed(state.iterations() * 26 * 2'000);  // lane-chars simulated
+}
+BENCHMARK(BM_FunctionalEngineLaunch);
+
+void BM_AnalyticModelFullScale(benchmark::State& state) {
+  const auto device = gpusim::geforce_gtx_280();
+  const gpusim::CostModel model;
+  gm::kernels::WorkloadSpec spec;
+  spec.db_size = gm::data::kPaperDatabaseSize;
+  spec.episode_count = 15'600;
+  spec.level = 3;
+  spec.params.algorithm = gm::kernels::Algorithm::kBlockBuffered;
+  spec.params.threads_per_block = 512;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict_mining_time(device, spec, model));
+  }
+}
+BENCHMARK(BM_AnalyticModelFullScale);
+
+void BM_SpikeTrainGeneration(benchmark::State& state) {
+  const std::vector<Episode> planted = {Episode::from_text(kAlphabet, "ABC")};
+  gm::data::SpikeTrainConfig config;
+  config.size = 50'000;
+  for (auto _ : state) {
+    config.seed += 1;
+    benchmark::DoNotOptimize(gm::data::spike_train(kAlphabet, planted, config));
+  }
+  state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_SpikeTrainGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

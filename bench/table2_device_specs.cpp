@@ -1,0 +1,42 @@
+// Table 2: architectural features of the three simulated testbed cards.
+#include <iomanip>
+#include <iostream>
+
+#include "sim/device_spec.hpp"
+
+int main() {
+  const auto cards = gpusim::paper_testbed();
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::cout << std::left << std::setw(42) << label;
+    for (const auto& card : cards) {
+      std::cout << std::right << std::setw(16) << getter(card);
+    }
+    std::cout << "\n";
+  };
+
+  std::cout << "Table 2: simulated testbed (paper order)\n\n";
+  std::cout << std::left << std::setw(42) << "Card";
+  for (const auto& card : cards) {
+    std::cout << std::right << std::setw(16) << card.name.substr(8, 14);
+  }
+  std::cout << "\n";
+  row("Memory (MB)", [](const auto& c) { return c.device_mem_mb; });
+  row("Memory bandwidth (GB/s)", [](const auto& c) { return c.mem_bandwidth_gbps; });
+  row("Multiprocessors", [](const auto& c) { return c.multiprocessors; });
+  row("Cores", [](const auto& c) { return c.total_cores(); });
+  row("Processor clock (MHz)", [](const auto& c) { return c.core_clock_mhz; });
+  row("Compute capability", [](const auto& c) {
+    return std::to_string(c.compute_capability.major) + "." +
+           std::to_string(c.compute_capability.minor);
+  });
+  row("Registers per multiprocessor", [](const auto& c) { return c.registers_per_sm; });
+  row("Threads per block (max)", [](const auto& c) { return c.max_threads_per_block; });
+  row("Active threads per SM (max)", [](const auto& c) { return c.max_threads_per_sm; });
+  row("Active blocks per SM (max)", [](const auto& c) { return c.max_blocks_per_sm; });
+  row("Active warps per SM (max)", [](const auto& c) { return c.max_warps_per_sm; });
+  row("Supports atomics", [](const auto& c) { return c.supports_atomics() ? "yes" : "no"; });
+  row("Supports double precision",
+      [](const auto& c) { return c.supports_double_precision() ? "yes" : "no"; });
+  return 0;
+}

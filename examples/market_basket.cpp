@@ -1,0 +1,96 @@
+// Market-basket temporal rules — the paper's introductory example: how often
+// does {peanut butter, bread} => {jelly} occur, and does order matter?
+//
+// A synthetic purchase stream plants the cascade P -> B -> J (and, rarely,
+// the reversed B -> P -> J); mining under both counting semantics shows that
+// temporal data mining distinguishes orderings that classic association-rule
+// mining conflates.
+#include <algorithm>
+#include <iostream>
+
+#include "core/cpu_backend.hpp"
+#include "core/miner.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "kernels/gpu_backend.hpp"
+
+int main() {
+  using namespace gm;
+
+  // Product alphabet: 0=PeanutButter 1=Bread 2=Jelly 3..11 other groceries.
+  const core::Alphabet products(12);
+  auto name = [](core::Symbol s) -> std::string {
+    switch (s) {
+      case 0: return "PeanutButter";
+      case 1: return "Bread";
+      case 2: return "Jelly";
+      default: return "item" + std::to_string(static_cast<int>(s));
+    }
+  };
+
+  const core::Episode pbj({0, 1, 2});  // P -> B -> J
+  const core::Episode bpj({1, 0, 2});  // B -> P -> J (rare)
+  data::SpikeTrainConfig purchases;
+  purchases.size = 30'000;
+  purchases.noise_rate = 0.9;
+  purchases.max_jitter = 3;
+  purchases.seed = 7;
+  // Plant P->B->J nine times as often as B->P->J.
+  std::vector<core::Episode> planted;
+  for (int i = 0; i < 9; ++i) planted.push_back(pbj);
+  planted.push_back(bpj);
+  const auto stream = data::spike_train(products, planted, purchases);
+
+  std::cout << "Purchase stream of " << stream.events.size() << " events\n\n";
+
+  // Count the two orderings under both semantics.
+  for (const core::Semantics semantics :
+       {core::Semantics::kNonOverlappedSubsequence, core::Semantics::kContiguousRestart}) {
+    const auto c_pbj = count_occurrences(pbj, stream.events, semantics);
+    const auto c_bpj = count_occurrences(bpj, stream.events, semantics);
+    std::cout << to_string(semantics) << ":\n";
+    std::cout << "  {" << name(0) << ", " << name(1) << "} => {" << name(2)
+              << "} : " << c_pbj << "\n";
+    std::cout << "  {" << name(1) << ", " << name(0) << "} => {" << name(2)
+              << "} : " << c_bpj << "\n";
+    std::cout << "  order matters: " << (c_pbj > 2 * c_bpj ? "yes" : "no") << "\n\n";
+  }
+
+  // Full mining run on the simulated 8800 GTS 512 — the paper's finding that
+  // the *oldest* card is fastest for small problems makes it the right pick
+  // for a 12-product catalogue.
+  kernels::MiningLaunchParams params;
+  params.algorithm = kernels::Algorithm::kBlockBuffered;
+  params.threads_per_block = 256;
+  kernels::SimGpuBackend gpu(gpusim::geforce_8800_gts_512(), params);
+
+  core::MinerConfig config;
+  config.support_threshold = 0.005;
+  config.max_level = 3;
+  // Purchases more than 10 events apart are unrelated sessions: the expiry
+  // window (paper section 6) suppresses coincidental long-range triples.
+  config.expiry = core::ExpiryPolicy{10};
+
+  const auto result = core::mine_frequent_episodes(stream.events, products, gpu, config);
+
+  std::vector<core::FrequentEpisode> level3;
+  for (const auto& f : result.frequent) {
+    if (f.episode.level() == 3) level3.push_back(f);
+  }
+  std::sort(level3.begin(), level3.end(),
+            [](const auto& a, const auto& b) { return a.count > b.count; });
+
+  std::cout << "Top temporal rules on " << gpu.name() << ":\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(level3.size(), 8); ++i) {
+    std::cout << "  ";
+    for (int k = 0; k < level3[i].episode.level(); ++k) {
+      std::cout << (k ? " -> " : "") << name(level3[i].episode.at(k));
+    }
+    std::cout << "  (count " << level3[i].count << ")"
+              << (level3[i].episode == pbj ? "   <- the paper's rule" : "") << "\n";
+  }
+  const bool pbj_on_top = !level3.empty() && level3.front().episode == pbj;
+  std::cout << "\n{PeanutButter, Bread} => {Jelly} ranked first: "
+            << (pbj_on_top ? "yes" : "no") << "\n";
+  return pbj_on_top ? 0 : 1;
+}

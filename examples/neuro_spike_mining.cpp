@@ -1,0 +1,82 @@
+// Neuroscience scenario (the paper's motivating application): discover
+// neuronal firing cascades in a multi-electrode recording.
+//
+// A synthetic spike train over 20 "neurons" embeds three ground-truth
+// cascades in background noise.  The miner — running on the simulated
+// GTX 280 with the fastest configuration the paper found for medium problem
+// sizes — must surface exactly those cascades among its top level-3
+// episodes, with an expiry window standing in for biological plausibility
+// (a cascade spanning seconds is noise, not causation).
+#include <algorithm>
+#include <iostream>
+
+#include "core/miner.hpp"
+#include "data/generators.hpp"
+#include "kernels/gpu_backend.hpp"
+
+int main() {
+  using namespace gm;
+
+  const core::Alphabet neurons(20);
+  const std::vector<core::Episode> cascades = {
+      core::Episode({2, 11, 5}),   // stimulus -> relay -> motor
+      core::Episode({7, 3, 18}),
+      core::Episode({14, 9, 0}),
+  };
+
+  data::SpikeTrainConfig recording;
+  recording.size = 60'000;
+  recording.noise_rate = 0.85;
+  recording.max_jitter = 2;
+  recording.seed = 424242;
+  const data::SpikeTrain train = data::spike_train(neurons, cascades, recording);
+
+  std::cout << "Synthetic recording: " << train.events.size() << " spikes from "
+            << neurons.size() << " neurons; planted cascades:\n";
+  for (std::size_t i = 0; i < cascades.size(); ++i) {
+    std::cout << "  " << cascades[i].to_string(neurons) << " x" << train.planted_copies[i]
+              << "\n";
+  }
+
+  // Mine on the simulated GTX 280.  An expiry window of 12 events keeps only
+  // tight cascades; support threshold tuned to the planted density.
+  kernels::MiningLaunchParams params;
+  params.algorithm = kernels::Algorithm::kThreadBuffered;
+  params.threads_per_block = 96;  // the paper's level-3 recommendation
+  kernels::SimGpuBackend gpu(gpusim::geforce_gtx_280(), params);
+
+  core::MinerConfig config;
+  config.support_threshold = 0.002;
+  config.max_level = 3;
+  config.expiry = core::ExpiryPolicy{12};
+
+  const core::MiningResult result =
+      core::mine_frequent_episodes(train.events, neurons, gpu, config);
+
+  double total_kernel_ms = 0.0;
+  for (const auto& level : result.levels) total_kernel_ms += level.simulated_kernel_ms;
+  std::cout << "\nMined " << result.total_frequent() << " frequent episodes in "
+            << total_kernel_ms << " ms of predicted GPU time ("
+            << result.levels.size() << " levels)\n";
+
+  // Rank level-3 survivors by count; the planted cascades must lead.
+  std::vector<core::FrequentEpisode> level3;
+  for (const auto& f : result.frequent) {
+    if (f.episode.level() == 3) level3.push_back(f);
+  }
+  std::sort(level3.begin(), level3.end(),
+            [](const auto& a, const auto& b) { return a.count > b.count; });
+
+  std::cout << "\nTop level-3 cascades:\n";
+  int hits = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(level3.size(), 6); ++i) {
+    const bool planted =
+        std::find(cascades.begin(), cascades.end(), level3[i].episode) != cascades.end();
+    if (planted && i < cascades.size()) ++hits;
+    std::cout << "  " << level3[i].episode.to_string(neurons) << "  count="
+              << level3[i].count << (planted ? "   <- planted" : "") << "\n";
+  }
+  std::cout << "\nRecovered " << hits << "/" << cascades.size()
+            << " planted cascades in the top ranks\n";
+  return hits == static_cast<int>(cascades.size()) ? 0 : 1;
+}

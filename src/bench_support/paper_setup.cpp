@@ -1,0 +1,29 @@
+#include "bench_support/paper_setup.hpp"
+
+#include "core/candidate_gen.hpp"
+#include "data/generators.hpp"
+
+namespace gm::bench {
+
+std::int64_t paper_episode_count(int level) {
+  return static_cast<std::int64_t>(gm::core::episode_space_size(26, level));
+}
+
+gpusim::TimeBreakdown paper_breakdown(const gpusim::DeviceSpec& device,
+                                      kernels::Algorithm algorithm, int level,
+                                      int threads_per_block, const gpusim::CostModel& model) {
+  kernels::WorkloadSpec spec;
+  spec.db_size = data::kPaperDatabaseSize;
+  spec.episode_count = paper_episode_count(level);
+  spec.level = level;
+  spec.params.algorithm = algorithm;
+  spec.params.threads_per_block = threads_per_block;
+  return kernels::predict_mining_time(device, spec, model);
+}
+
+double paper_time_ms(const gpusim::DeviceSpec& device, kernels::Algorithm algorithm, int level,
+                     int threads_per_block, const gpusim::CostModel& model) {
+  return paper_breakdown(device, algorithm, level, threads_per_block, model).total_ms;
+}
+
+}  // namespace gm::bench

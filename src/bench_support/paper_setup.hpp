@@ -1,0 +1,30 @@
+// Shared configuration of the paper-reproduction benches: the evaluation
+// workload (393,019 letters, episode levels 1-3) and one-call helpers that
+// predict a mining kernel's time on a card via the analytic workload model.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/workload_model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device_spec.hpp"
+
+namespace gm::bench {
+
+/// Episode counts of the paper's levels over the 26-letter alphabet.
+[[nodiscard]] std::int64_t paper_episode_count(int level);
+
+/// Predicted kernel time (ms) for one paper configuration.
+[[nodiscard]] double paper_time_ms(const gpusim::DeviceSpec& device,
+                                   kernels::Algorithm algorithm, int level,
+                                   int threads_per_block,
+                                   const gpusim::CostModel& model = gpusim::CostModel{});
+
+/// Same, returning the full mechanism breakdown.
+[[nodiscard]] gpusim::TimeBreakdown paper_breakdown(const gpusim::DeviceSpec& device,
+                                                    kernels::Algorithm algorithm, int level,
+                                                    int threads_per_block,
+                                                    const gpusim::CostModel& model =
+                                                        gpusim::CostModel{});
+
+}  // namespace gm::bench

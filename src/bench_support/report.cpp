@@ -1,0 +1,63 @@
+#include "bench_support/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace gm::bench {
+
+void SeriesTable::add(Series series) {
+  gm::expects(series.values.size() == xs_.size(),
+              "series length must match the x axis");
+  series_.push_back(std::move(series));
+}
+
+void SeriesTable::print(std::ostream& os) const {
+  os << "\n== " << title_ << " ==\n";
+  os << std::left << std::setw(10) << x_label_;
+  for (const auto& s : series_) os << std::right << std::setw(16) << s.label;
+  os << "\n";
+  for (std::size_t row = 0; row < xs_.size(); ++row) {
+    os << std::left << std::setw(10) << xs_[row];
+    for (const auto& s : series_) {
+      os << std::right << std::setw(16) << std::fixed << std::setprecision(3)
+         << s.values[row];
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void SeriesTable::print_csv(std::ostream& os) const {
+  os << x_label_;
+  for (const auto& s : series_) os << "," << s.label;
+  os << "\n";
+  for (std::size_t row = 0; row < xs_.size(); ++row) {
+    os << xs_[row];
+    for (const auto& s : series_) os << "," << s.values[row];
+    os << "\n";
+  }
+  os.flush();
+}
+
+std::vector<int> paper_thread_sweep() {
+  return {16, 32, 64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384, 416, 448, 480, 512};
+}
+
+void report_check(std::ostream& os, const std::string& claim, bool pass,
+                  const std::string& detail) {
+  os << (pass ? "[PASS]    " : "[DEVIATE] ") << claim;
+  if (!detail.empty()) os << "  -- " << detail;
+  os << "\n";
+  os.flush();
+}
+
+Best best_of(const std::vector<int>& xs, const std::vector<double>& values) {
+  gm::expects(!xs.empty() && xs.size() == values.size(), "need a non-empty series");
+  const auto it = std::min_element(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(it - values.begin());
+  return {xs[idx], *it};
+}
+
+}  // namespace gm::bench

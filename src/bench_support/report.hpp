@@ -1,0 +1,55 @@
+// Reporting helpers for the benchmark harnesses: fixed-width series tables
+// (one row per threads-per-block value, matching the paper's figure axes),
+// CSV emission, and paper-reference comparisons.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace gm::bench {
+
+/// One curve: y-value per swept x (threads per block).
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// A figure-like table: one column per series, one row per x value.
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_label, std::vector<int> xs)
+      : title_(std::move(title)), x_label_(std::move(x_label)), xs_(std::move(xs)) {}
+
+  void add(Series series);
+
+  /// Pretty fixed-width table to `os`.
+  void print(std::ostream& os = std::cout) const;
+  /// Machine-readable CSV to `os`.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] const std::vector<Series>& series() const noexcept { return series_; }
+  [[nodiscard]] const std::vector<int>& xs() const noexcept { return xs_; }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<int> xs_;
+  std::vector<Series> series_;
+};
+
+/// The paper's figure-axis sweep: threads per block 16, 32, 64, ..., 512.
+[[nodiscard]] std::vector<int> paper_thread_sweep();
+
+/// Qualitative check line: prints PASS/DEVIATE with an explanation.
+void report_check(std::ostream& os, const std::string& claim, bool pass,
+                  const std::string& detail);
+
+/// min / argmin over a series (for "best configuration" reports).
+struct Best {
+  int x = 0;
+  double value = 0.0;
+};
+[[nodiscard]] Best best_of(const std::vector<int>& xs, const std::vector<double>& values);
+
+}  // namespace gm::bench

@@ -1,0 +1,30 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace gm {
+namespace {
+
+std::string format(std::string_view kind, std::string_view message,
+                   const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << ": " << message << " [" << loc.file_name() << ":" << loc.line() << " "
+     << loc.function_name() << "]";
+  return os.str();
+}
+
+}  // namespace
+
+void raise_precondition(std::string_view message, std::source_location loc) {
+  throw PreconditionError(format("precondition violated", message, loc));
+}
+
+void raise_invariant(std::string_view message, std::source_location loc) {
+  throw InvariantError(format("invariant violated", message, loc));
+}
+
+void raise_device(std::string_view message, std::source_location loc) {
+  throw DeviceError(format("device error", message, loc));
+}
+
+}  // namespace gm

@@ -1,0 +1,60 @@
+// Error-handling primitives shared by every gpuminer module.
+//
+// Style follows the C++ Core Guidelines: preconditions are checked with
+// `expects()`, postconditions/invariants with `ensure()`, both of which throw
+// typed exceptions carrying a formatted message.  No macros; call sites pass
+// context strings explicitly.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gm {
+
+/// Base class for all gpuminer errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed (a bug in this library, not the caller).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// The simulated device rejected an operation (e.g. launch config exceeds
+/// hardware limits, or an atomic op unsupported at this compute capability).
+class DeviceError : public Error {
+ public:
+  explicit DeviceError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void raise_precondition(std::string_view message,
+                                     std::source_location loc = std::source_location::current());
+[[noreturn]] void raise_invariant(std::string_view message,
+                                  std::source_location loc = std::source_location::current());
+[[noreturn]] void raise_device(std::string_view message,
+                               std::source_location loc = std::source_location::current());
+
+/// Check a documented precondition of a public entry point.
+inline void expects(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) raise_precondition(message, loc);
+}
+
+/// Check an internal invariant.
+inline void ensure(bool condition, std::string_view message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) raise_invariant(message, loc);
+}
+
+}  // namespace gm

@@ -1,0 +1,54 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in gpuminer (database generators, planted
+// episodes, property tests) consumes an explicitly seeded `Rng` so all runs
+// are reproducible across machines.  The generator is SplitMix64, which has
+// excellent statistical behaviour for the non-cryptographic purposes here and
+// a trivially portable implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gm {
+
+/// SplitMix64 generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double unit() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Derive an independent child generator (for parallel streams).
+  Rng split() noexcept { return Rng(operator()()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gm

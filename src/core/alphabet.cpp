@@ -1,0 +1,40 @@
+#include "core/alphabet.hpp"
+
+#include "common/error.hpp"
+
+namespace gm::core {
+
+Alphabet::Alphabet(int size) : size_(size) {
+  gm::expects(size >= 1 && size <= 255, "alphabet size must be in [1, 255]");
+}
+
+std::string Alphabet::symbol_name(Symbol s) const {
+  gm::expects(contains(s), "symbol outside alphabet");
+  if (size_ <= 26) return std::string(1, static_cast<char>('A' + s));
+  return "s" + std::to_string(static_cast<int>(s));
+}
+
+Sequence Alphabet::parse(std::string_view text) const {
+  gm::expects(size_ <= 26, "text parsing requires an alphabet of at most 26 letters");
+  Sequence out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const int v = c - 'A';
+    gm::expects(v >= 0 && v < size_, std::string("character '") + c + "' outside alphabet");
+    out.push_back(static_cast<Symbol>(v));
+  }
+  return out;
+}
+
+std::string Alphabet::format(const Sequence& seq) const {
+  gm::expects(size_ <= 26, "text formatting requires an alphabet of at most 26 letters");
+  std::string out;
+  out.reserve(seq.size());
+  for (Symbol s : seq) {
+    gm::expects(contains(s), "sequence symbol outside alphabet");
+    out.push_back(static_cast<char>('A' + s));
+  }
+  return out;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,47 @@
+// Symbol alphabet for temporal databases.
+//
+// The paper's evaluation uses the 26 upper-case English letters; neuroscience
+// workloads use one symbol per recorded neuron.  Symbols are dense 8-bit ids
+// so a database is simply a contiguous byte sequence (cheap to place in
+// simulated texture memory).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gm::core {
+
+/// One event type (letter / neuron id).
+using Symbol = std::uint8_t;
+
+/// An ordered event database D = d1..dn (paper section 3.1).
+using Sequence = std::vector<Symbol>;
+
+class Alphabet {
+ public:
+  /// Alphabet of `size` symbols with ids 0..size-1.  1 <= size <= 255.
+  explicit Alphabet(int size);
+
+  /// The paper's alphabet: 'A'..'Z'.
+  [[nodiscard]] static Alphabet english_uppercase() { return Alphabet(26); }
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] bool contains(Symbol s) const noexcept { return s < size_; }
+
+  /// Printable form of a symbol: 'A'.. for small alphabets, "s<N>" otherwise.
+  [[nodiscard]] std::string symbol_name(Symbol s) const;
+
+  /// Parse a text database (e.g. "ABCAB") into a Sequence.
+  /// Throws gm::PreconditionError on characters outside the alphabet.
+  [[nodiscard]] Sequence parse(std::string_view text) const;
+
+  /// Render a sequence back to text (small alphabets only).
+  [[nodiscard]] std::string format(const Sequence& seq) const;
+
+ private:
+  int size_;
+};
+
+}  // namespace gm::core

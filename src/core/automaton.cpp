@@ -1,0 +1,13 @@
+#include "core/automaton.hpp"
+
+namespace gm::core {
+
+std::string to_string(Semantics semantics) {
+  switch (semantics) {
+    case Semantics::kNonOverlappedSubsequence: return "non-overlapped-subsequence";
+    case Semantics::kContiguousRestart: return "contiguous-restart";
+  }
+  return "?";
+}
+
+}  // namespace gm::core

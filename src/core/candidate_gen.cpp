@@ -1,0 +1,133 @@
+#include "core/candidate_gen.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace gm::core {
+
+std::uint64_t episode_space_size(int alphabet_size, int level) {
+  gm::expects(alphabet_size >= 1, "alphabet size must be positive");
+  gm::expects(level >= 1, "level must be positive");
+  if (level > alphabet_size) return 0;
+  std::uint64_t total = 1;
+  for (int i = 0; i < level; ++i) {
+    const auto factor = static_cast<std::uint64_t>(alphabet_size - i);
+    gm::expects(total <= std::numeric_limits<std::uint64_t>::max() / factor,
+                "episode space size overflows uint64");
+    total *= factor;
+  }
+  return total;
+}
+
+namespace {
+
+void extend(const Alphabet& alphabet, std::vector<Symbol>& prefix, int level,
+            std::vector<Episode>& out) {
+  if (static_cast<int>(prefix.size()) == level) {
+    out.emplace_back(prefix);
+    return;
+  }
+  for (int s = 0; s < alphabet.size(); ++s) {
+    const auto symbol = static_cast<Symbol>(s);
+    if (std::find(prefix.begin(), prefix.end(), symbol) != prefix.end()) continue;
+    prefix.push_back(symbol);
+    extend(alphabet, prefix, level, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Episode> all_distinct_episodes(const Alphabet& alphabet, int level) {
+  gm::expects(level >= 1, "level must be positive");
+  const std::uint64_t n = episode_space_size(alphabet.size(), level);
+  gm::expects(n <= (1ULL << 26), "episode space too large to materialize");
+  std::vector<Episode> out;
+  out.reserve(n);
+  std::vector<Symbol> prefix;
+  prefix.reserve(static_cast<std::size_t>(level));
+  extend(alphabet, prefix, level, out);
+  gm::ensure(out.size() == n, "episode enumeration disagrees with Table 1 formula");
+  return out;
+}
+
+std::vector<Episode> level1_candidates(const Alphabet& alphabet) {
+  return all_distinct_episodes(alphabet, 1);
+}
+
+std::vector<Episode> generate_candidates(const std::vector<Episode>& frequent_prev, bool prune) {
+  if (frequent_prev.empty()) return {};
+  const int prev_level = frequent_prev.front().level();
+  for (const auto& e : frequent_prev) {
+    gm::expects(e.level() == prev_level, "frequent set must share one level");
+  }
+
+  std::unordered_set<Episode, EpisodeHash> frequent_set(frequent_prev.begin(),
+                                                        frequent_prev.end());
+  std::vector<Episode> candidates;
+
+  if (prev_level == 1) {
+    // Join two level-1 episodes <a>, <b> (a != b allowed to repeat? the
+    // episode model permits repeats; the paper's space uses distinct symbols
+    // but general mining should not assume it).
+    for (const auto& a : frequent_prev) {
+      for (const auto& b : frequent_prev) {
+        std::vector<Symbol> symbols{a.at(0), b.at(0)};
+        candidates.emplace_back(std::move(symbols));
+      }
+    }
+  } else {
+    for (const auto& a : frequent_prev) {
+      for (const auto& b : frequent_prev) {
+        // a = <x, m...>, b = <m..., y>  ->  <x, m..., y>
+        bool joinable = true;
+        for (int i = 0; i + 1 < prev_level; ++i) {
+          if (a.at(i + 1) != b.at(i)) {
+            joinable = false;
+            break;
+          }
+        }
+        if (!joinable) continue;
+        std::vector<Symbol> symbols(a.symbols().begin(), a.symbols().end());
+        symbols.push_back(b.at(prev_level - 1));
+        candidates.emplace_back(std::move(symbols));
+      }
+    }
+  }
+
+  if (!prune) return candidates;
+
+  std::vector<Episode> pruned;
+  pruned.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    bool keep = true;
+    for (int drop = 0; drop < c.level(); ++drop) {
+      if (!frequent_set.contains(c.without(drop))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) pruned.push_back(c);
+  }
+  return pruned;
+}
+
+std::vector<Episode> eliminate_infrequent(const std::vector<Episode>& episodes,
+                                          const std::vector<std::int64_t>& counts,
+                                          std::int64_t database_size,
+                                          double support_threshold) {
+  gm::expects(episodes.size() == counts.size(), "episode/count size mismatch");
+  gm::expects(database_size > 0, "database must be non-empty");
+  std::vector<Episode> out;
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const double support =
+        static_cast<double>(counts[i]) / static_cast<double>(database_size);
+    if (support > support_threshold) out.push_back(episodes[i]);
+  }
+  return out;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,41 @@
+// Level-wise candidate episode generation and elimination (paper Algorithm 1,
+// generation/elimination steps) plus the exhaustive episode spaces of the
+// paper's evaluation (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alphabet.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core {
+
+/// Number of length-`level` episodes over `alphabet_size` distinct symbols:
+/// N!/(N-L)! (paper Table 1).  Returns 0 when level > alphabet_size.
+/// Throws gm::PreconditionError if the value would overflow uint64.
+[[nodiscard]] std::uint64_t episode_space_size(int alphabet_size, int level);
+
+/// All episodes of `level` distinct symbols over the alphabet, in
+/// lexicographic order.  Level 1 yields N episodes, level 2 yields N(N-1),
+/// level 3 yields N(N-1)(N-2) — the 26/650/15,600 sets of the paper.
+[[nodiscard]] std::vector<Episode> all_distinct_episodes(const Alphabet& alphabet, int level);
+
+/// Apriori-style join: candidates of level k from the frequent episodes of
+/// level k-1.  Two frequent episodes a, b join into a ++ b.back() when
+/// a[1..] == b[..k-2].  When `prune` is set, candidates with any level-(k-1)
+/// sub-episode (single deletion) absent from `frequent_prev` are dropped
+/// (anti-monotonicity of episode support).
+[[nodiscard]] std::vector<Episode> generate_candidates(const std::vector<Episode>& frequent_prev,
+                                                       bool prune = true);
+
+/// Level-1 candidates: one per alphabet symbol.
+[[nodiscard]] std::vector<Episode> level1_candidates(const Alphabet& alphabet);
+
+/// Elimination step: keep episodes whose count/database_size > threshold.
+[[nodiscard]] std::vector<Episode> eliminate_infrequent(const std::vector<Episode>& episodes,
+                                                        const std::vector<std::int64_t>& counts,
+                                                        std::int64_t database_size,
+                                                        double support_threshold);
+
+}  // namespace gm::core

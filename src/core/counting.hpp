@@ -1,0 +1,43 @@
+// Counting backend interface: the paper's "counting step" (the expensive map
+// phase of Algorithm 1) behind a uniform API so the miner can run on the
+// serial CPU, a multi-threaded CPU, or any of the four simulated-GPU
+// algorithms interchangeably.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core {
+
+struct CountRequest {
+  std::span<const Symbol> database;
+  std::vector<Episode> episodes;
+  Semantics semantics = Semantics::kNonOverlappedSubsequence;
+  ExpiryPolicy expiry = {};
+};
+
+struct CountResult {
+  /// counts[i] = occurrences of episodes[i].
+  std::vector<std::int64_t> counts;
+  /// Wall-clock of the backend itself, in milliseconds (host work).
+  double host_ms = 0.0;
+  /// For simulated-GPU backends: the predicted device kernel time from the
+  /// cost model; 0 for CPU backends.
+  double simulated_kernel_ms = 0.0;
+};
+
+class CountingBackend {
+ public:
+  virtual ~CountingBackend() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual CountResult count(const CountRequest& request) = 0;
+};
+
+}  // namespace gm::core

@@ -1,0 +1,68 @@
+#include "core/cpu_backend.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/serial_counter.hpp"
+
+namespace gm::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+CountResult SerialCpuBackend::count(const CountRequest& request) {
+  const auto start = Clock::now();
+  CountResult result;
+  result.counts = count_all(request.episodes, request.database, request.semantics,
+                            request.expiry);
+  result.host_ms = elapsed_ms(start);
+  return result;
+}
+
+ParallelCpuBackend::ParallelCpuBackend(int threads)
+    : threads_(threads > 0 ? threads
+                           : static_cast<int>(std::thread::hardware_concurrency())) {
+  if (threads_ <= 0) threads_ = 1;
+}
+
+std::string ParallelCpuBackend::name() const {
+  return "cpu-parallel-x" + std::to_string(threads_);
+}
+
+CountResult ParallelCpuBackend::count(const CountRequest& request) {
+  const auto start = Clock::now();
+  CountResult result;
+  result.counts.assign(request.episodes.size(), 0);
+
+  const int workers = std::min<int>(threads_, std::max<std::size_t>(request.episodes.size(), 1));
+  std::atomic<std::size_t> next{0};
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= request.episodes.size()) return;
+      result.counts[i] = count_occurrences(request.episodes[i], request.database,
+                                           request.semantics, request.expiry);
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+  result.host_ms = elapsed_ms(start);
+  return result;
+}
+
+}  // namespace gm::core

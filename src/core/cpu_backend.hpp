@@ -1,0 +1,34 @@
+// CPU counting backends: the serial single-core reference (the GMiner-class
+// baseline the paper motivates against) and an episode-parallel std::thread
+// implementation (the fair multicore comparator).
+#pragma once
+
+#include "core/counting.hpp"
+
+namespace gm::core {
+
+/// One automaton pass per episode on the calling thread.
+class SerialCpuBackend final : public CountingBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "cpu-serial"; }
+  [[nodiscard]] CountResult count(const CountRequest& request) override;
+};
+
+/// Episodes partitioned across `threads` host threads (thread-level
+/// parallelism in the paper's taxonomy: one worker = one episode at a time,
+/// identity reduce).
+class ParallelCpuBackend final : public CountingBackend {
+ public:
+  /// `threads` = 0 picks the hardware concurrency.
+  explicit ParallelCpuBackend(int threads = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] CountResult count(const CountRequest& request) override;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+ private:
+  int threads_;
+};
+
+}  // namespace gm::core

@@ -1,0 +1,73 @@
+#include "core/episode.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gm::core {
+
+Episode::Episode(std::vector<Symbol> symbols) : symbols_(std::move(symbols)) {
+  gm::expects(!symbols_.empty(), "episode must contain at least one symbol");
+  gm::expects(symbols_.size() <= 255, "episode level limited to 255");
+}
+
+Episode Episode::from_text(const Alphabet& alphabet, std::string_view text) {
+  return Episode(alphabet.parse(text));
+}
+
+Symbol Episode::at(int i) const {
+  gm::expects(i >= 0 && i < level(), "episode index out of range");
+  return symbols_[static_cast<std::size_t>(i)];
+}
+
+bool Episode::has_distinct_symbols() const {
+  auto sorted = symbols_;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+Episode Episode::without(int drop) const {
+  gm::expects(drop >= 0 && drop < level(), "drop index out of range");
+  gm::expects(level() > 1, "cannot drop from a level-1 episode");
+  std::vector<Symbol> out;
+  out.reserve(symbols_.size() - 1);
+  for (int i = 0; i < level(); ++i) {
+    if (i != drop) out.push_back(symbols_[static_cast<std::size_t>(i)]);
+  }
+  return Episode(std::move(out));
+}
+
+std::string Episode::to_string(const Alphabet& alphabet) const {
+  std::string out = "<";
+  for (int i = 0; i < level(); ++i) {
+    if (i > 0) out += ",";
+    out += alphabet.symbol_name(symbols_[static_cast<std::size_t>(i)]);
+  }
+  out += ">";
+  return out;
+}
+
+std::span<const Symbol> PackedEpisodes::episode(std::int64_t index) const {
+  gm::expects(index >= 0 && index < padded_count, "packed episode index out of range");
+  return {symbols.data() + index * level, static_cast<std::size_t>(level)};
+}
+
+PackedEpisodes pack_episodes(const std::vector<Episode>& episodes, std::int64_t padded_count) {
+  gm::expects(!episodes.empty(), "cannot pack an empty episode list");
+  PackedEpisodes packed;
+  packed.level = episodes.front().level();
+  packed.episode_count = static_cast<std::int64_t>(episodes.size());
+  packed.padded_count = std::max<std::int64_t>(padded_count, packed.episode_count);
+  packed.symbols.reserve(static_cast<std::size_t>(packed.padded_count * packed.level));
+  for (const auto& e : episodes) {
+    gm::expects(e.level() == packed.level, "all packed episodes must share one level");
+    packed.symbols.insert(packed.symbols.end(), e.symbols().begin(), e.symbols().end());
+  }
+  for (std::int64_t i = packed.episode_count; i < packed.padded_count; ++i) {
+    packed.symbols.insert(packed.symbols.end(), static_cast<std::size_t>(packed.level),
+                          PackedEpisodes::kSentinel);
+  }
+  return packed;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,78 @@
+// Episodes: ordered sequences of symbols to be discovered in a database.
+//
+// An episode A = <a1, a2, ..., aL> appears in database D when its symbols
+// occur at increasing indices (paper section 3.1).  The episode *level* is
+// its length L.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.hpp"
+
+namespace gm::core {
+
+class Episode {
+ public:
+  Episode() = default;
+  explicit Episode(std::vector<Symbol> symbols);
+
+  /// Convenience: build from text ("AB" -> <A,B>) under the given alphabet.
+  [[nodiscard]] static Episode from_text(const Alphabet& alphabet, std::string_view text);
+
+  [[nodiscard]] int level() const noexcept { return static_cast<int>(symbols_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return symbols_.empty(); }
+  [[nodiscard]] Symbol at(int i) const;
+  [[nodiscard]] std::span<const Symbol> symbols() const noexcept { return symbols_; }
+
+  /// True when no symbol repeats (the paper's episode space, Table 1).
+  [[nodiscard]] bool has_distinct_symbols() const;
+
+  /// The episode with element `drop` removed (for Apriori subset pruning).
+  [[nodiscard]] Episode without(int drop) const;
+
+  [[nodiscard]] std::string to_string(const Alphabet& alphabet) const;
+
+  friend bool operator==(const Episode&, const Episode&) = default;
+  friend auto operator<=>(const Episode& a, const Episode& b) {
+    return a.symbols_ <=> b.symbols_;
+  }
+
+ private:
+  std::vector<Symbol> symbols_;
+};
+
+struct EpisodeHash {
+  [[nodiscard]] std::size_t operator()(const Episode& e) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (Symbol s : e.symbols()) h = (h ^ s) * 0x100000001b3ULL;
+    return h;
+  }
+};
+
+/// Flat, device-friendly layout of an episode list: all symbols concatenated,
+/// constant stride `level`, padded episodes marked with an invalid symbol.
+/// This is what the GPU kernels consume.
+struct PackedEpisodes {
+  std::vector<Symbol> symbols;  ///< episode_count * level entries
+  int level = 0;
+  std::int64_t episode_count = 0;  ///< real episodes (before padding)
+  std::int64_t padded_count = 0;   ///< episodes including sentinel padding
+
+  /// Sentinel symbol used for padded episode slots (never matches: the
+  /// database is validated to contain only symbols < sentinel).
+  static constexpr Symbol kSentinel = 0xFF;
+
+  [[nodiscard]] std::span<const Symbol> episode(std::int64_t index) const;
+};
+
+/// Pack `episodes` (all of one level) and pad the list to `padded_count`
+/// entries (Mars-style MapReduce record padding so every thread owns a slot).
+[[nodiscard]] PackedEpisodes pack_episodes(const std::vector<Episode>& episodes,
+                                           std::int64_t padded_count = 0);
+
+}  // namespace gm::core

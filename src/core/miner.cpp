@@ -1,0 +1,56 @@
+#include "core/miner.hpp"
+
+#include "common/error.hpp"
+
+namespace gm::core {
+
+MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alphabet& alphabet,
+                                    CountingBackend& backend, const MinerConfig& config) {
+  gm::expects(!database.empty(), "database must be non-empty");
+  gm::expects(config.support_threshold >= 0.0, "support threshold must be non-negative");
+  for (const Symbol s : database) {
+    gm::expects(alphabet.contains(s), "database symbol outside alphabet");
+  }
+
+  MiningResult result;
+  const auto n = static_cast<std::int64_t>(database.size());
+
+  std::vector<Episode> candidates = level1_candidates(alphabet);
+  int level = 1;
+  while (!candidates.empty() && (config.max_level == 0 || level <= config.max_level)) {
+    CountRequest request;
+    request.database = database;
+    request.episodes = candidates;
+    request.semantics = config.semantics;
+    request.expiry = config.expiry;
+
+    const CountResult counted = backend.count(request);
+    gm::ensure(counted.counts.size() == candidates.size(),
+               "backend returned wrong number of counts");
+
+    std::vector<Episode> frequent_here =
+        eliminate_infrequent(candidates, counted.counts, n, config.support_threshold);
+
+    LevelReport report;
+    report.level = level;
+    report.candidates = static_cast<std::int64_t>(candidates.size());
+    report.frequent = static_cast<std::int64_t>(frequent_here.size());
+    report.count_host_ms = counted.host_ms;
+    report.simulated_kernel_ms = counted.simulated_kernel_ms;
+    result.levels.push_back(report);
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double support =
+          static_cast<double>(counted.counts[i]) / static_cast<double>(n);
+      if (support > config.support_threshold) {
+        result.frequent.push_back({candidates[i], counted.counts[i], support});
+      }
+    }
+
+    candidates = generate_candidates(frequent_here, config.apriori_prune);
+    ++level;
+  }
+  return result;
+}
+
+}  // namespace gm::core

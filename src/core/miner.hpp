@@ -1,0 +1,59 @@
+// Frequent episode mining driver — the paper's Algorithm 1.
+//
+// Level by level: generate candidate episodes, count them with the supplied
+// backend (the expensive, parallelizable step), eliminate infrequent ones,
+// and expand the survivors into the next level's candidates until no
+// candidate survives or `max_level` is reached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_gen.hpp"
+#include "core/counting.hpp"
+
+namespace gm::core {
+
+struct MinerConfig {
+  /// Support threshold alpha: an episode is frequent when count/n > alpha.
+  double support_threshold = 0.0;
+  /// Stop after this level (0 = run until the candidate set is empty).
+  /// The paper's future work (section 6) discusses L >> 3; the default keeps
+  /// runs bounded the same way the paper's evaluation does.
+  int max_level = 3;
+  Semantics semantics = Semantics::kNonOverlappedSubsequence;
+  ExpiryPolicy expiry = {};
+  /// Apply Apriori sub-episode pruning during candidate generation.
+  bool apriori_prune = true;
+};
+
+struct FrequentEpisode {
+  Episode episode;
+  std::int64_t count = 0;
+  double support = 0.0;
+};
+
+struct LevelReport {
+  int level = 0;
+  std::int64_t candidates = 0;
+  std::int64_t frequent = 0;
+  double count_host_ms = 0.0;
+  double simulated_kernel_ms = 0.0;
+};
+
+struct MiningResult {
+  std::vector<FrequentEpisode> frequent;  ///< all levels, discovery order
+  std::vector<LevelReport> levels;
+
+  [[nodiscard]] std::int64_t total_frequent() const noexcept {
+    return static_cast<std::int64_t>(frequent.size());
+  }
+};
+
+/// Run Algorithm 1 over `database` using `backend` for the counting step.
+[[nodiscard]] MiningResult mine_frequent_episodes(std::span<const Symbol> database,
+                                                  const Alphabet& alphabet,
+                                                  CountingBackend& backend,
+                                                  const MinerConfig& config);
+
+}  // namespace gm::core

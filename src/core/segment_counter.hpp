@@ -1,0 +1,112 @@
+// Chunked (segmented) episode counting and boundary-spanning correction.
+//
+// The paper's block-level algorithms split the database across the threads of
+// a block; occurrences spanning a chunk boundary are missed unless an
+// "intermediate step between map and reduce" recovers them (paper Figure 5).
+// Two strategies are implemented:
+//
+//  * kStateComposition (exact, default): every chunk computes its transfer
+//    function — for each possible automaton entry state, the occurrences
+//    completed inside the chunk and the exit state.  Folding the transfer
+//    functions left to right yields exactly the serial count.  Cost is
+//    O(chunk * (L+1)) per chunk, so the fix-up work grows with both the
+//    number of boundaries and the level, matching the paper's C3.
+//
+//  * kOverlapRescan (approximation): each boundary is patched by rescanning
+//    a window of W symbols across it, counting occurrences that start in the
+//    left chunk and end in the right one.  It misses occurrences spanning
+//    more than W symbols and its fresh-automaton greedy consumption near a
+//    boundary can disagree with the serial automaton's, so it is close to
+//    but not exactly the serial count even when W bounds the span (expiry).
+//    It models the paper's lightweight "intermediate step" and quantifies
+//    the accuracy/cost trade-off against composition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core {
+
+enum class SpanningFix {
+  kNone,              ///< chunks counted independently; spanning occurrences lost
+  kStateComposition,  ///< exact transfer-function composition
+  kOverlapRescan,     ///< approximate boundary-window rescan
+};
+
+[[nodiscard]] std::string to_string(SpanningFix fix);
+
+/// Result of scanning one chunk from one entry state.
+struct SegmentOutcome {
+  std::int64_t count = 0;            ///< occurrences completed inside the chunk
+  int exit_state = 0;                ///< automaton state at chunk end
+  std::int64_t first_match_pos = 0;  ///< absolute position backing exit_state
+};
+
+/// Scan database[begin, end) with the automaton entering in `entry_state`
+/// (whose first matched symbol was at absolute `entry_first_pos`).
+[[nodiscard]] SegmentOutcome scan_segment(std::span<const Symbol> episode, Semantics semantics,
+                                          ExpiryPolicy expiry, std::span<const Symbol> database,
+                                          std::int64_t begin, std::int64_t end, int entry_state,
+                                          std::int64_t entry_first_pos);
+
+/// Transfer function of one chunk: outcome for every entry state 0..L-1.
+/// (Entry state L never occurs: the automaton resets upon acceptance.)
+struct SegmentTransfer {
+  std::vector<SegmentOutcome> by_entry_state;
+};
+
+[[nodiscard]] SegmentTransfer segment_transfer(std::span<const Symbol> episode,
+                                               Semantics semantics, ExpiryPolicy expiry,
+                                               std::span<const Symbol> database,
+                                               std::int64_t begin, std::int64_t end);
+
+/// Count an episode over `database` split into `chunks` equal parts using the
+/// selected spanning strategy.  With kStateComposition the result equals
+/// count_occurrences() for every input; the others are documented
+/// approximations.  `overlap_window` is used by kOverlapRescan (defaults to
+/// the expiry window when enabled, else 2*L).
+[[nodiscard]] std::int64_t count_chunked(const Episode& episode,
+                                         std::span<const Symbol> database, int chunks,
+                                         Semantics semantics, ExpiryPolicy expiry,
+                                         SpanningFix fix,
+                                         std::int64_t overlap_window = 0);
+
+/// Occurrences crossing `bound` (start < bound <= end < next_bound), found by
+/// a fresh-automaton rescan of [bound-window, bound+window).  The shared
+/// primitive behind the overlap-rescan fix; the GPU kernels implement the
+/// identical loop with hardware-cost charging.
+[[nodiscard]] std::int64_t count_boundary_crossers(std::span<const Symbol> episode,
+                                                   Semantics semantics, ExpiryPolicy expiry,
+                                                   std::span<const Symbol> database,
+                                                   std::int64_t bound, std::int64_t next_bound,
+                                                   std::int64_t window);
+
+/// Count with an explicit boundary list (bounds.front() == 0,
+/// bounds.back() == database.size(), non-decreasing).  This is the primitive
+/// the GPU kernels are validated against: pass the same geometry the kernel
+/// used and the results must agree element-for-element.
+[[nodiscard]] std::int64_t count_with_boundaries(const Episode& episode,
+                                                 std::span<const Symbol> database,
+                                                 const std::vector<std::int64_t>& bounds,
+                                                 Semantics semantics, ExpiryPolicy expiry,
+                                                 SpanningFix fix,
+                                                 std::int64_t overlap_window = 0);
+
+/// Chunk boundaries for splitting `size` symbols into `chunks` equal parts
+/// (remainder spread over the lowest chunks) — shared by CPU and GPU backends
+/// so every implementation agrees on the geometry.
+[[nodiscard]] std::vector<std::int64_t> chunk_boundaries(std::int64_t size, int chunks);
+
+/// The boundary list the buffered block kernel (Algorithm 4) induces: the
+/// database is staged `buffer_symbols` at a time and each staged buffer is
+/// split across `threads` slices.
+[[nodiscard]] std::vector<std::int64_t> buffered_slice_boundaries(std::int64_t size,
+                                                                  std::int64_t buffer_symbols,
+                                                                  int threads);
+
+}  // namespace gm::core

@@ -1,0 +1,29 @@
+#include "core/serial_counter.hpp"
+
+#include "common/error.hpp"
+
+namespace gm::core {
+
+std::int64_t count_occurrences(const Episode& episode, std::span<const Symbol> database,
+                               Semantics semantics, ExpiryPolicy expiry) {
+  gm::expects(!episode.empty(), "cannot count an empty episode");
+  EpisodeAutomaton automaton(episode.symbols(), semantics, expiry);
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    if (automaton.step(database[i], static_cast<std::int64_t>(i))) ++count;
+  }
+  return count;
+}
+
+std::vector<std::int64_t> count_all(const std::vector<Episode>& episodes,
+                                    std::span<const Symbol> database, Semantics semantics,
+                                    ExpiryPolicy expiry) {
+  std::vector<std::int64_t> counts;
+  counts.reserve(episodes.size());
+  for (const auto& e : episodes) {
+    counts.push_back(count_occurrences(e, database, semantics, expiry));
+  }
+  return counts;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,28 @@
+// Serial reference counter: the ground truth every parallel backend (CPU
+// threads, all four GPU algorithms) is validated against, and the stand-in
+// for the single-CPU GMiner-class baseline the paper motivates against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core {
+
+/// Count occurrences of one episode over the full database.
+[[nodiscard]] std::int64_t count_occurrences(const Episode& episode,
+                                             std::span<const Symbol> database,
+                                             Semantics semantics,
+                                             ExpiryPolicy expiry = {});
+
+/// Count each episode independently (one full scan per episode, mirroring
+/// the paper's map function).
+[[nodiscard]] std::vector<std::int64_t> count_all(const std::vector<Episode>& episodes,
+                                                  std::span<const Symbol> database,
+                                                  Semantics semantics,
+                                                  ExpiryPolicy expiry = {});
+
+}  // namespace gm::core

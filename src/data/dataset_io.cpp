@@ -1,0 +1,86 @@
+#include "data/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gm::data {
+
+Dataset read_dataset(std::istream& in) {
+  std::string line;
+  int alphabet_size = -1;
+
+  // Header: first significant line must be "alphabet <N>".
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream header(line);
+    std::string keyword;
+    header >> keyword >> alphabet_size;
+    gm::expects(keyword == "alphabet" && alphabet_size >= 1,
+                "dataset must start with 'alphabet <N>'");
+    break;
+  }
+  gm::expects(alphabet_size >= 1, "dataset missing 'alphabet <N>' header");
+
+  Dataset dataset{core::Alphabet(alphabet_size), {}};
+  const bool letters = alphabet_size <= 26;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (letters) {
+      for (const char c : line) {
+        if (c == ' ' || c == '\t' || c == '\r') continue;
+        const int v = c - 'A';
+        gm::expects(v >= 0 && v < alphabet_size,
+                    std::string("event '") + c + "' outside the declared alphabet");
+        dataset.events.push_back(static_cast<core::Symbol>(v));
+      }
+    } else {
+      std::istringstream tokens(line);
+      int v = 0;
+      while (tokens >> v) {
+        gm::expects(v >= 0 && v < alphabet_size, "event id outside the declared alphabet");
+        dataset.events.push_back(static_cast<core::Symbol>(v));
+      }
+    }
+  }
+  return dataset;
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  gm::expects(static_cast<bool>(in), "cannot open dataset file: " + path);
+  return read_dataset(in);
+}
+
+void write_dataset(std::ostream& out, const Dataset& dataset) {
+  out << "# gpuminer dataset\n";
+  out << "alphabet " << dataset.alphabet.size() << "\n";
+  const bool letters = dataset.alphabet.size() <= 26;
+  constexpr std::size_t kWrap = 80;
+  std::size_t column = 0;
+  for (const core::Symbol s : dataset.events) {
+    gm::expects(dataset.alphabet.contains(s), "event outside the dataset's alphabet");
+    if (letters) {
+      out << static_cast<char>('A' + s);
+      if (++column == kWrap) {
+        out << "\n";
+        column = 0;
+      }
+    } else {
+      out << static_cast<int>(s);
+      out << ((++column % 20 == 0) ? "\n" : " ");
+    }
+  }
+  if (column != 0) out << "\n";
+}
+
+void save_dataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  gm::expects(static_cast<bool>(out), "cannot create dataset file: " + path);
+  write_dataset(out, dataset);
+}
+
+}  // namespace gm::data

@@ -1,0 +1,36 @@
+// Dataset persistence: a simple, self-describing text format so users can
+// feed their own event streams to the miner (and the CLI example).
+//
+// Format, line oriented:
+//   # comments and blank lines ignored
+//   alphabet <N>
+//   <events: for N <= 26, contiguous letters 'A'.. on any number of lines;
+//            for larger alphabets, whitespace-separated decimal symbol ids>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/alphabet.hpp"
+
+namespace gm::data {
+
+struct Dataset {
+  core::Alphabet alphabet{1};
+  core::Sequence events;
+};
+
+/// Parse a dataset from a stream.  Throws gm::PreconditionError on malformed
+/// input (missing header, out-of-range symbols).
+[[nodiscard]] Dataset read_dataset(std::istream& in);
+
+/// Load from a file path.
+[[nodiscard]] Dataset load_dataset(const std::string& path);
+
+/// Write in the same format (letters for alphabets up to 26, ids otherwise).
+void write_dataset(std::ostream& out, const Dataset& dataset);
+
+/// Save to a file path.
+void save_dataset(const std::string& path, const Dataset& dataset);
+
+}  // namespace gm::data

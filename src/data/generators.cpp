@@ -1,0 +1,94 @@
+#include "data/generators.hpp"
+
+#include "common/error.hpp"
+
+namespace gm::data {
+
+core::Sequence uniform_database(const core::Alphabet& alphabet, std::int64_t size,
+                                std::uint64_t seed) {
+  gm::expects(size >= 0, "database size must be non-negative");
+  Rng rng(seed);
+  core::Sequence out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    out.push_back(static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(alphabet.size()))));
+  }
+  return out;
+}
+
+core::Sequence paper_database(std::uint64_t seed) {
+  return uniform_database(core::Alphabet::english_uppercase(), kPaperDatabaseSize, seed);
+}
+
+core::Sequence markov_database(const core::Alphabet& alphabet, std::int64_t size,
+                               double self_transition, std::uint64_t seed) {
+  gm::expects(size >= 0, "database size must be non-negative");
+  gm::expects(self_transition >= 0.0 && self_transition < 1.0,
+              "self transition probability must be in [0, 1)");
+  Rng rng(seed);
+  core::Sequence out;
+  out.reserve(static_cast<std::size_t>(size));
+  auto draw = [&]() {
+    return static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(alphabet.size())));
+  };
+  core::Symbol current = draw();
+  for (std::int64_t i = 0; i < size; ++i) {
+    if (!rng.chance(self_transition)) current = draw();
+    out.push_back(current);
+  }
+  return out;
+}
+
+SpikeTrain spike_train(const core::Alphabet& alphabet,
+                       const std::vector<core::Episode>& planted,
+                       const SpikeTrainConfig& config) {
+  gm::expects(!planted.empty(), "need at least one planted episode");
+  gm::expects(config.size > 0, "spike train must be non-empty");
+  gm::expects(config.noise_rate >= 0.0 && config.noise_rate <= 1.0,
+              "noise rate must be in [0, 1]");
+  for (const auto& e : planted) {
+    for (const core::Symbol s : e.symbols()) {
+      gm::expects(alphabet.contains(s), "planted episode symbol outside alphabet");
+    }
+  }
+
+  Rng rng(config.seed);
+  SpikeTrain train;
+  train.events.reserve(static_cast<std::size_t>(config.size));
+  train.planted_copies.assign(planted.size(), 0);
+
+  auto noise = [&]() {
+    return static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(alphabet.size())));
+  };
+
+  while (static_cast<std::int64_t>(train.events.size()) < config.size) {
+    if (rng.chance(config.noise_rate)) {
+      train.events.push_back(noise());
+      continue;
+    }
+    // Emit one full cascade with jitter; abort cleanly at the size limit so
+    // partially emitted cascades are never recorded as planted copies.
+    const std::size_t which = rng.below(planted.size());
+    const auto& episode = planted[which];
+    bool complete = true;
+    for (int i = 0; i < episode.level(); ++i) {
+      if (static_cast<std::int64_t>(train.events.size()) >= config.size) {
+        complete = false;
+        break;
+      }
+      train.events.push_back(episode.at(i));
+      if (i + 1 < episode.level()) {
+        const auto jitter =
+            static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(config.max_jitter) + 1));
+        for (std::int64_t j = 0;
+             j < jitter && static_cast<std::int64_t>(train.events.size()) < config.size; ++j) {
+          train.events.push_back(noise());
+        }
+      }
+    }
+    if (complete) ++train.planted_copies[which];
+  }
+  return train;
+}
+
+}  // namespace gm::data

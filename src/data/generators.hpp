@@ -1,0 +1,60 @@
+// Synthetic database generators.
+//
+// The paper's evaluation database is 393,019 letters over the upper-case
+// English alphabet; its timing results are data-independent (the FSM scan is
+// O(1) per symbol), so a seeded uniform generator at the exact paper size is
+// a faithful substitute.  The spike-train generator plants episodes with
+// controllable firing rates for correctness-oriented workloads (the
+// neuroscience use case the paper motivates), and the Markov generator
+// produces non-uniform symbol statistics for property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/alphabet.hpp"
+#include "core/episode.hpp"
+
+namespace gm::data {
+
+/// The paper's database length (section 5).
+inline constexpr std::int64_t kPaperDatabaseSize = 393'019;
+
+/// Uniform i.i.d. symbols.
+[[nodiscard]] core::Sequence uniform_database(const core::Alphabet& alphabet, std::int64_t size,
+                                              std::uint64_t seed);
+
+/// The exact evaluation workload of the paper: 393,019 uniform letters over
+/// 'A'..'Z' (fixed seed so every bench run sees the same data).
+[[nodiscard]] core::Sequence paper_database(std::uint64_t seed = 20090525);
+
+/// First-order Markov chain: each symbol repeats with probability
+/// `self_transition`, otherwise draws uniformly.  Produces bursty data that
+/// stresses automaton restarts.
+[[nodiscard]] core::Sequence markov_database(const core::Alphabet& alphabet, std::int64_t size,
+                                             double self_transition, std::uint64_t seed);
+
+/// Configuration for the planted-episode spike-train generator.
+struct SpikeTrainConfig {
+  std::int64_t size = 10'000;       ///< events in the recording
+  double noise_rate = 0.8;          ///< probability an event is background noise
+  std::int64_t max_jitter = 3;      ///< 0..max_jitter noise events between pattern symbols
+  std::uint64_t seed = 1;
+};
+
+struct SpikeTrain {
+  core::Sequence events;
+  /// Number of complete copies of each planted episode emitted.  A lower
+  /// bound on the non-overlapped subsequence count (noise can only create
+  /// additional occurrences, never destroy a planted one).
+  std::vector<std::int64_t> planted_copies;
+};
+
+/// Generate a synthetic multi-neuron recording in which `planted` episodes
+/// (firing cascades) are embedded in background noise.
+[[nodiscard]] SpikeTrain spike_train(const core::Alphabet& alphabet,
+                                     const std::vector<core::Episode>& planted,
+                                     const SpikeTrainConfig& config);
+
+}  // namespace gm::data

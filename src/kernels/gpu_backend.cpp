@@ -1,0 +1,41 @@
+#include "kernels/gpu_backend.hpp"
+
+#include <chrono>
+
+namespace gm::kernels {
+
+SimGpuBackend::SimGpuBackend(gpusim::DeviceSpec device, MiningLaunchParams params,
+                             gpusim::CostParams cost_params,
+                             gpusim::EngineOptions engine_options)
+    : engine_(std::move(device), engine_options),
+      params_(params),
+      cost_model_(cost_params) {}
+
+std::string SimGpuBackend::name() const {
+  return "gpusim/" + to_string(params_.algorithm) + "/t" +
+         std::to_string(params_.threads_per_block) + "/" + engine_.spec().name;
+}
+
+core::CountResult SimGpuBackend::count(const core::CountRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+
+  MiningLaunchParams params = params_;
+  params.semantics = request.semantics;
+  params.expiry = request.expiry;
+
+  core::Sequence database(request.database.begin(), request.database.end());
+  DeviceProblem problem(database, request.episodes, params);
+  const gpusim::KernelFn kernel = problem.kernel();
+  const gpusim::LaunchResult launch = engine_.launch(problem.launch_config(), kernel);
+
+  core::CountResult result;
+  result.counts = problem.extract_counts();
+  result.simulated_kernel_ms =
+      cost_model_.predict(engine_.spec(), problem.launch_config(), launch.profile).total_ms;
+  result.host_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace gm::kernels

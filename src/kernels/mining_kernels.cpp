@@ -1,0 +1,544 @@
+#include "kernels/mining_kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+
+#include "common/error.hpp"
+#include "core/segment_counter.hpp"
+
+namespace gm::kernels {
+namespace {
+
+using core::EpisodeAutomaton;
+using core::Symbol;
+using gpusim::TexAccessKind;
+using gpusim::ThreadCtx;
+
+/// Everything a kernel thread needs, copied by value into the coroutine
+/// frame (safe against the enclosing lambda's lifetime).
+struct Views {
+  gpusim::TextureView<Symbol> db_tex;
+  gpusim::GlobalView<Symbol> episodes;      ///< charged device accesses
+  std::span<const Symbol> episodes_host;    ///< zero-cost host mirror
+  gpusim::GlobalView<std::uint32_t> counts;
+  /// Block-level transfer tables, blocks x threads x level entries in device
+  /// memory (count<<8 | exit_state per entry).
+  gpusim::GlobalView<std::uint32_t> scratch;
+  std::int64_t db_size = 0;
+  int level = 1;
+  core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
+  core::ExpiryPolicy expiry = {};
+  int buffer_bytes = kDefaultBufferBytes;
+};
+
+/// [begin, end) of thread `tid` when `size` symbols are split across
+/// `threads` (remainder to the lowest tids — must match
+/// core::chunk_boundaries).
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+};
+
+Range thread_chunk(std::int64_t size, int threads, int tid) {
+  const std::int64_t base = size / threads;
+  const std::int64_t extra = size % threads;
+  Range r;
+  r.begin = tid * base + std::min<std::int64_t>(tid, extra);
+  r.end = r.begin + base + (tid < extra ? 1 : 0);
+  return r;
+}
+
+std::uint32_t pack_outcome(std::uint32_t count, int exit_state) {
+  return (count << 8) | static_cast<std::uint32_t>(exit_state);
+}
+
+/// Count window-crossing occurrences around absolute boundary `bound` by
+/// rescanning [bound-window, bound+window) through the texture path.  An
+/// occurrence is attributed to the last boundary it crosses (end must fall
+/// before `next_bound`).  Mirrors core's count_overlap_rescan exactly so CPU
+/// reference and kernel agree.
+std::uint32_t rescan_boundary(ThreadCtx& ctx, const Views& v, std::span<const Symbol> episode,
+                              std::int64_t bound, std::int64_t next_bound,
+                              std::int64_t window) {
+  const std::int64_t lo = std::max<std::int64_t>(0, bound - window);
+  const std::int64_t hi = std::min<std::int64_t>(v.db_size, bound + window);
+  EpisodeAutomaton automaton(episode, v.semantics, v.expiry);
+  std::uint32_t crossers = 0;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    ctx.charge(kRescanInstr);
+    const Symbol c = v.db_tex.fetch(ctx, static_cast<std::size_t>(i));
+    ctx.charge(kAutomatonStepInstr);
+    if (automaton.step(c, i) && i >= bound && i < next_bound &&
+        automaton.first_match_pos() < bound) {
+      ++crossers;
+    }
+  }
+  return crossers;
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 1: thread-level, texture memory.
+// --------------------------------------------------------------------------
+gpusim::KernelTask algo1_kernel(ThreadCtx& ctx, Views v) {
+  ctx.declare_texture_pattern(
+      {TexAccessKind::kBroadcast, static_cast<double>(v.db_size), /*sharing_key=*/1});
+
+  const std::int64_t ep = ctx.global_thread();
+  const std::int64_t ep_off = ep * v.level;
+  const std::span<const Symbol> episode =
+      v.episodes_host.subspan(static_cast<std::size_t>(ep_off),
+                              static_cast<std::size_t>(v.level));
+
+  EpisodeAutomaton automaton(episode, v.semantics, v.expiry);
+  std::uint32_t count = 0;
+  for (std::int64_t i = 0; i < v.db_size; ++i) {
+    ctx.charge(kUnbufferedScanInstr);
+    const Symbol c = v.db_tex.fetch(ctx, static_cast<std::size_t>(i));
+    // The episode symbol we wait for lives in spilled local memory and is
+    // re-read every iteration (see cost_constants.hpp).
+    (void)v.episodes.load(ctx, static_cast<std::size_t>(ep_off + automaton.state()));
+    if (automaton.step(c, i)) ++count;
+  }
+  v.counts.store(ctx, static_cast<std::size_t>(ep), count);
+  co_return;
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 2: thread-level, shared-memory buffering.
+// --------------------------------------------------------------------------
+gpusim::KernelTask algo2_kernel(ThreadCtx& ctx, Views v) {
+  ctx.declare_texture_pattern(
+      {TexAccessKind::kCoalescedStream, static_cast<double>(v.db_size), /*sharing_key=*/2});
+
+  const int t = ctx.block_dim();
+  const int tid = ctx.thread_idx();
+  const std::int64_t ep = ctx.global_thread();
+  const std::int64_t ep_off = ep * v.level;
+
+  // Episode staged once into frame registers.
+  std::array<Symbol, kMaxLevel> ep_syms{};
+  for (int k = 0; k < v.level; ++k) {
+    ep_syms[static_cast<std::size_t>(k)] =
+        v.episodes.load(ctx, static_cast<std::size_t>(ep_off + k));
+  }
+  const std::span<const Symbol> episode(ep_syms.data(), static_cast<std::size_t>(v.level));
+
+  gpusim::SharedArray<Symbol> buffer(ctx, static_cast<std::size_t>(v.buffer_bytes), 0);
+  EpisodeAutomaton automaton(episode, v.semantics, v.expiry);
+  std::uint32_t count = 0;
+
+  const std::int64_t B = v.buffer_bytes;
+  for (std::int64_t base = 0; base < v.db_size; base += B) {
+    const std::int64_t n = std::min<std::int64_t>(B, v.db_size - base);
+    // Cooperative interleaved load: warp lanes fetch consecutive addresses.
+    for (std::int64_t j = tid; j < n; j += t) {
+      ctx.charge(kBufferCopyInstr);
+      buffer.store(static_cast<std::size_t>(j),
+                   v.db_tex.fetch(ctx, static_cast<std::size_t>(base + j)));
+    }
+    co_await ctx.syncthreads();
+    // Every thread scans the whole buffer for its own episode.
+    for (std::int64_t j = 0; j < n; ++j) {
+      ctx.charge(kBufferedScanInstr);
+      const Symbol c = buffer.load(static_cast<std::size_t>(j));
+      if (automaton.step(c, base + j)) ++count;
+    }
+    co_await ctx.syncthreads();
+  }
+  v.counts.store(ctx, static_cast<std::size_t>(ep), count);
+  co_return;
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 3: block-level, texture memory.
+// --------------------------------------------------------------------------
+gpusim::KernelTask algo3_kernel(ThreadCtx& ctx, Views v) {
+  ctx.declare_texture_pattern(
+      {TexAccessKind::kStridedPerLane, static_cast<double>(v.db_size), /*sharing_key=*/0});
+
+  const int t = ctx.block_dim();
+  const int tid = ctx.thread_idx();
+  const std::int64_t ep = ctx.block_idx();
+  const std::int64_t ep_off = ep * v.level;
+  const int L = v.level;
+
+  std::array<Symbol, kMaxLevel> ep_syms{};
+  for (int k = 0; k < L; ++k) {
+    ep_syms[static_cast<std::size_t>(k)] =
+        v.episodes.load(ctx, static_cast<std::size_t>(ep_off + k));
+  }
+  const std::span<const Symbol> episode(ep_syms.data(), static_cast<std::size_t>(L));
+
+  const Range chunk = thread_chunk(v.db_size, t, tid);
+  // Transfer table for this block lives in device memory.
+  const std::size_t scratch_base =
+      static_cast<std::size_t>(ep) * static_cast<std::size_t>(t) * static_cast<std::size_t>(L);
+
+  // Level-1 occurrences are single symbols and can never span a chunk
+  // boundary, so the transfer-function machinery is skipped (one automaton,
+  // plain sum reduce) — likewise in expiry mode, where boundary rescans
+  // replace composition.
+  if (!v.expiry.enabled() && L > 1) {
+    // Transfer-function scan: one automaton per entry state, single fetch
+    // per symbol.
+    std::vector<EpisodeAutomaton> automata;
+    std::vector<std::uint32_t> found(static_cast<std::size_t>(L), 0);
+    automata.reserve(static_cast<std::size_t>(L));
+    for (int a = 0; a < L; ++a) {
+      automata.emplace_back(episode, v.semantics, v.expiry);
+      automata.back().restore(a, chunk.begin - 1);
+    }
+    for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+      ctx.charge(kBlockScanInstr);
+      const Symbol c = v.db_tex.fetch(ctx, static_cast<std::size_t>(i));
+      (void)v.episodes.load(ctx,
+                            static_cast<std::size_t>(ep_off + automata[0].state()));
+      for (int a = 0; a < L; ++a) {
+        ctx.charge(kAutomatonStepInstr);
+        if (automata[static_cast<std::size_t>(a)].step(c, i)) {
+          ++found[static_cast<std::size_t>(a)];
+        }
+      }
+    }
+    for (int a = 0; a < L; ++a) {
+      ctx.charge(1);
+      v.scratch.store(ctx,
+                      scratch_base + static_cast<std::size_t>(tid) * L +
+                          static_cast<std::size_t>(a),
+                      pack_outcome(found[static_cast<std::size_t>(a)],
+                                   automata[static_cast<std::size_t>(a)].state()));
+    }
+    co_await ctx.syncthreads();
+    if (tid == 0) {
+      std::uint32_t total = 0;
+      int state = 0;
+      for (int th = 0; th < t; ++th) {
+        ctx.charge(kFoldStepInstr);
+        const std::uint32_t o =
+            v.scratch.load(ctx, scratch_base + static_cast<std::size_t>(th) * L +
+                                    static_cast<std::size_t>(state));
+        total += o >> 8;
+        state = static_cast<int>(o & 0xFF);
+      }
+      v.counts.store(ctx, static_cast<std::size_t>(ep), total);
+    }
+    co_return;
+  }
+
+  // Simple mode (expiry or level 1): fresh scan per chunk + (expiry only)
+  // boundary-window rescan.
+  EpisodeAutomaton automaton(episode, v.semantics, v.expiry);
+  std::uint32_t count = 0;
+  for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+    ctx.charge(kBlockScanInstr);
+    const Symbol c = v.db_tex.fetch(ctx, static_cast<std::size_t>(i));
+    (void)v.episodes.load(ctx, static_cast<std::size_t>(ep_off + automaton.state()));
+    ctx.charge(kAutomatonStepInstr);
+    if (automaton.step(c, i)) ++count;
+  }
+  if (v.expiry.enabled() && chunk.end < v.db_size) {
+    const std::int64_t next_bound = thread_chunk(v.db_size, t, tid + 1).end;
+    count += rescan_boundary(ctx, v, episode, chunk.end, next_bound, v.expiry.window);
+  }
+  ctx.charge(1);
+  v.scratch.store(ctx, scratch_base + static_cast<std::size_t>(tid) * L, count);
+  co_await ctx.syncthreads();
+  if (tid == 0) {
+    std::uint32_t total = 0;
+    for (int th = 0; th < t; ++th) {
+      ctx.charge(kFoldStepInstr);
+      total += v.scratch.load(ctx, scratch_base + static_cast<std::size_t>(th) * L);
+    }
+    v.counts.store(ctx, static_cast<std::size_t>(ep), total);
+  }
+  co_return;
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 4: block-level, shared-memory buffering.
+// --------------------------------------------------------------------------
+gpusim::KernelTask algo4_kernel(ThreadCtx& ctx, Views v) {
+  ctx.declare_texture_pattern(
+      {TexAccessKind::kCoalescedStream, static_cast<double>(v.db_size), /*sharing_key=*/4});
+
+  const int t = ctx.block_dim();
+  const int tid = ctx.thread_idx();
+  const std::int64_t ep = ctx.block_idx();
+  const std::int64_t ep_off = ep * v.level;
+  const int L = v.level;
+
+  std::array<Symbol, kMaxLevel> ep_syms{};
+  for (int k = 0; k < L; ++k) {
+    ep_syms[static_cast<std::size_t>(k)] =
+        v.episodes.load(ctx, static_cast<std::size_t>(ep_off + k));
+  }
+  const std::span<const Symbol> episode(ep_syms.data(), static_cast<std::size_t>(L));
+
+  gpusim::SharedArray<Symbol> buffer(ctx, static_cast<std::size_t>(v.buffer_bytes), 0);
+  const std::size_t scratch_base =
+      static_cast<std::size_t>(ep) * static_cast<std::size_t>(t) * static_cast<std::size_t>(L);
+
+  // Simple mode: expiry (rescan-based spanning fix) or level 1 (occurrences
+  // cannot span a slice).
+  const bool simple = v.expiry.enabled() || L == 1;
+  const std::int64_t B = v.buffer_bytes;
+
+  // Composition fold state (thread 0) / simple-mode partial count.
+  std::uint32_t fold_total = 0;
+  int fold_state = 0;
+  EpisodeAutomaton simple_automaton(episode, v.semantics, v.expiry);
+  std::uint32_t simple_count = 0;
+  bool first_iteration = true;
+
+  for (std::int64_t base = 0; base < v.db_size; base += B) {
+    const std::int64_t n = std::min<std::int64_t>(B, v.db_size - base);
+
+    // Between iterations, thread 0 folds the previous iteration's transfer
+    // table while the other threads proceed into this load phase (the
+    // regions are disjoint; the barrier below orders the phases).
+    if (!simple && !first_iteration && tid == 0) {
+      for (int th = 0; th < t; ++th) {
+        ctx.charge(kFoldStepInstr);
+        const std::uint32_t o =
+            v.scratch.load(ctx, scratch_base + static_cast<std::size_t>(th) * L +
+                                    static_cast<std::size_t>(fold_state));
+        fold_total += o >> 8;
+        fold_state = static_cast<int>(o & 0xFF);
+      }
+    }
+    first_iteration = false;
+
+    for (std::int64_t j = tid; j < n; j += t) {
+      ctx.charge(kBufferCopyInstr);
+      buffer.store(static_cast<std::size_t>(j),
+                   v.db_tex.fetch(ctx, static_cast<std::size_t>(base + j)));
+    }
+    co_await ctx.syncthreads();
+
+    const Range slice = thread_chunk(n, t, tid);
+    if (!simple) {
+      std::vector<EpisodeAutomaton> automata;
+      std::vector<std::uint32_t> found(static_cast<std::size_t>(L), 0);
+      automata.reserve(static_cast<std::size_t>(L));
+      for (int a = 0; a < L; ++a) {
+        automata.emplace_back(episode, v.semantics, v.expiry);
+        automata.back().restore(a, base + slice.begin - 1);
+      }
+      for (std::int64_t j = slice.begin; j < slice.end; ++j) {
+        ctx.charge(kBlockScanInstr);
+        const Symbol c = buffer.load(static_cast<std::size_t>(j));
+        (void)v.episodes.load(ctx,
+                              static_cast<std::size_t>(ep_off + automata[0].state()));
+        for (int a = 0; a < L; ++a) {
+          ctx.charge(kAutomatonStepInstr);
+          if (automata[static_cast<std::size_t>(a)].step(c, base + j)) {
+            ++found[static_cast<std::size_t>(a)];
+          }
+        }
+      }
+      for (int a = 0; a < L; ++a) {
+        ctx.charge(1);
+        v.scratch.store(ctx,
+                        scratch_base + static_cast<std::size_t>(tid) * L +
+                            static_cast<std::size_t>(a),
+                        pack_outcome(found[static_cast<std::size_t>(a)],
+                                     automata[static_cast<std::size_t>(a)].state()));
+      }
+    } else {
+      for (std::int64_t j = slice.begin; j < slice.end; ++j) {
+        ctx.charge(kBlockScanInstr);
+        const Symbol c = buffer.load(static_cast<std::size_t>(j));
+        (void)v.episodes.load(
+            ctx, static_cast<std::size_t>(ep_off + simple_automaton.state()));
+        ctx.charge(kAutomatonStepInstr);
+        if (simple_automaton.step(c, base + j)) ++simple_count;
+      }
+      // Fresh automaton per slice: abandon carried progress to mirror the
+      // independent-chunk map phase, then (expiry only) patch the slice's
+      // end boundary.
+      simple_automaton.reset();
+      const std::int64_t bound = base + slice.end;
+      if (v.expiry.enabled() && bound < v.db_size) {
+        std::int64_t next_bound;
+        if (tid < t - 1) {
+          next_bound = base + thread_chunk(n, t, tid + 1).end;
+        } else {
+          // Iteration edge: the next boundary is the first slice end of the
+          // following staged buffer.
+          const std::int64_t n2 = std::min<std::int64_t>(B, v.db_size - (base + n));
+          next_bound = base + n + thread_chunk(n2, t, 0).end;
+        }
+        simple_count += rescan_boundary(ctx, v, episode, bound, next_bound, v.expiry.window);
+      }
+    }
+    co_await ctx.syncthreads();
+  }
+
+  if (!simple) {
+    if (tid == 0) {
+      for (int th = 0; th < t; ++th) {
+        ctx.charge(kFoldStepInstr);
+        const std::uint32_t o =
+            v.scratch.load(ctx, scratch_base + static_cast<std::size_t>(th) * L +
+                                    static_cast<std::size_t>(fold_state));
+        fold_total += o >> 8;
+        fold_state = static_cast<int>(o & 0xFF);
+      }
+      v.counts.store(ctx, static_cast<std::size_t>(ep), fold_total);
+    }
+  } else {
+    ctx.charge(1);
+    v.scratch.store(ctx, scratch_base + static_cast<std::size_t>(tid) * L, simple_count);
+    co_await ctx.syncthreads();
+    if (tid == 0) {
+      std::uint32_t total = 0;
+      for (int th = 0; th < t; ++th) {
+        ctx.charge(kFoldStepInstr);
+        total += v.scratch.load(ctx, scratch_base + static_cast<std::size_t>(th) * L);
+      }
+      v.counts.store(ctx, static_cast<std::size_t>(ep), total);
+    }
+  }
+  co_return;
+}
+
+}  // namespace
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kThreadTexture: return "algo1-thread-texture";
+    case Algorithm::kThreadBuffered: return "algo2-thread-buffered";
+    case Algorithm::kBlockTexture: return "algo3-block-texture";
+    case Algorithm::kBlockBuffered: return "algo4-block-buffered";
+  }
+  return "?";
+}
+
+int algorithm_number(Algorithm algorithm) { return static_cast<int>(algorithm); }
+
+bool is_block_level(Algorithm algorithm) {
+  return algorithm == Algorithm::kBlockTexture || algorithm == Algorithm::kBlockBuffered;
+}
+
+bool is_buffered(Algorithm algorithm) {
+  return algorithm == Algorithm::kThreadBuffered || algorithm == Algorithm::kBlockBuffered;
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> algorithms = {
+      Algorithm::kThreadTexture, Algorithm::kThreadBuffered, Algorithm::kBlockTexture,
+      Algorithm::kBlockBuffered};
+  return algorithms;
+}
+
+LaunchGeometry launch_geometry(Algorithm algorithm, std::int64_t episode_count, int level,
+                               int threads_per_block, int buffer_bytes) {
+  gm::expects(episode_count > 0, "need at least one episode");
+  gm::expects(threads_per_block > 0, "need at least one thread per block");
+  gm::expects(level >= 1 && level <= kMaxLevel, "level outside kernel support");
+
+  LaunchGeometry geo;
+  if (is_block_level(algorithm)) {
+    geo.blocks = episode_count;
+    geo.padded_episodes = episode_count;
+    // Transfer tables live in device memory; shared memory holds only the
+    // staging buffer (Algorithm 4).
+    geo.shared_mem_per_block = is_buffered(algorithm) ? buffer_bytes : 0;
+  } else {
+    geo.blocks = (episode_count + threads_per_block - 1) / threads_per_block;
+    geo.padded_episodes = geo.blocks * threads_per_block;
+    geo.shared_mem_per_block = is_buffered(algorithm) ? buffer_bytes : 0;
+  }
+  return geo;
+}
+
+DeviceProblem::DeviceProblem(const core::Sequence& database,
+                             const std::vector<core::Episode>& episodes,
+                             const MiningLaunchParams& params)
+    : params_(params),
+      packed_(core::pack_episodes(
+          episodes, launch_geometry(params.algorithm,
+                                    static_cast<std::int64_t>(episodes.size()),
+                                    episodes.empty() ? 1 : episodes.front().level(),
+                                    params.threads_per_block, params.buffer_bytes)
+                        .padded_episodes)),
+      db_(std::span<const Symbol>(database)),
+      episodes_(std::span<const Symbol>(packed_.symbols)),
+      counts_(static_cast<std::size_t>(packed_.padded_count)),
+      scratch_(is_block_level(params.algorithm)
+                   ? static_cast<std::size_t>(packed_.episode_count) *
+                         static_cast<std::size_t>(params.threads_per_block) *
+                         static_cast<std::size_t>(packed_.level)
+                   : 1),
+      db_size_(static_cast<std::int64_t>(database.size())) {
+  gm::expects(!database.empty(), "database must be non-empty");
+  for (const Symbol s : database) {
+    gm::expects(s < core::PackedEpisodes::kSentinel,
+                "database symbol collides with the padding sentinel");
+  }
+  const LaunchGeometry geo =
+      launch_geometry(params.algorithm, packed_.episode_count, packed_.level,
+                      params.threads_per_block, params.buffer_bytes);
+  config_.grid = gpusim::Dim3(static_cast<int>(geo.blocks));
+  config_.block = gpusim::Dim3(params.threads_per_block);
+  config_.shared_mem_per_block = geo.shared_mem_per_block;
+  config_.registers_per_thread = kRegistersPerThread;
+  if (is_block_level(params.algorithm)) {
+    gm::expects(params.threads_per_block <= db_size_,
+                "block-level kernels need at least one symbol per thread");
+  }
+  if (is_buffered(params.algorithm)) {
+    gm::expects(params.buffer_bytes > 0, "buffered kernels need a buffer");
+  }
+}
+
+gpusim::KernelFn DeviceProblem::kernel() {
+  Views v;
+  v.db_tex = db_.texture();
+  v.episodes = episodes_.global();
+  v.episodes_host = packed_.symbols;
+  v.counts = counts_.global();
+  v.scratch = scratch_.global();
+  v.db_size = db_size_;
+  v.level = packed_.level;
+  v.semantics = params_.semantics;
+  v.expiry = params_.expiry;
+  v.buffer_bytes = params_.buffer_bytes;
+
+  switch (params_.algorithm) {
+    case Algorithm::kThreadTexture:
+      return [v](ThreadCtx& ctx) { return algo1_kernel(ctx, v); };
+    case Algorithm::kThreadBuffered:
+      return [v](ThreadCtx& ctx) { return algo2_kernel(ctx, v); };
+    case Algorithm::kBlockTexture:
+      return [v](ThreadCtx& ctx) { return algo3_kernel(ctx, v); };
+    case Algorithm::kBlockBuffered:
+      return [v](ThreadCtx& ctx) { return algo4_kernel(ctx, v); };
+  }
+  gm::raise_invariant("unhandled algorithm");
+}
+
+std::vector<std::int64_t> DeviceProblem::extract_counts() const {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(packed_.episode_count));
+  const auto host = counts_.host();
+  for (std::int64_t i = 0; i < packed_.episode_count; ++i) {
+    out.push_back(static_cast<std::int64_t>(host[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+MiningRun run_mining_kernel(const gpusim::Engine& engine, const core::Sequence& database,
+                            const std::vector<core::Episode>& episodes,
+                            const MiningLaunchParams& params) {
+  DeviceProblem problem(database, episodes, params);
+  const gpusim::KernelFn kernel = problem.kernel();
+  MiningRun run;
+  run.launch = engine.launch(problem.launch_config(), kernel);
+  run.counts = problem.extract_counts();
+  return run;
+}
+
+}  // namespace gm::kernels

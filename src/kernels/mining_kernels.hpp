@@ -1,0 +1,109 @@
+// The paper's four GPU algorithms (section 3.3), written against the gpusim
+// kernel API:
+//
+//   Algorithm 1  thread-level, texture     one thread : one episode
+//   Algorithm 2  thread-level, buffered    one thread : one episode, DB staged
+//                                          through shared memory
+//   Algorithm 3  block-level,  texture     one block : one episode, threads
+//                                          split the DB, spanning fix + sum
+//   Algorithm 4  block-level,  buffered    one block : one episode, threads
+//                                          split each staged buffer
+//
+// Thread-level kernels pad the episode list so every thread owns a slot
+// (Mars-style record padding; padded threads scan with a sentinel episode,
+// reproducing the paper's "nothing but contention" observation).  Block-level
+// kernels recover boundary-spanning occurrences (paper Figure 5) exactly:
+// without expiry via automaton transfer-function composition, with expiry via
+// boundary-window rescans (exact because expiry bounds the occurrence span).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/episode.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory.hpp"
+
+#include "kernels/cost_constants.hpp"
+
+namespace gm::kernels {
+
+enum class Algorithm {
+  kThreadTexture = 1,
+  kThreadBuffered = 2,
+  kBlockTexture = 3,
+  kBlockBuffered = 4,
+};
+
+[[nodiscard]] std::string to_string(Algorithm algorithm);
+[[nodiscard]] int algorithm_number(Algorithm algorithm);
+[[nodiscard]] bool is_block_level(Algorithm algorithm);
+[[nodiscard]] bool is_buffered(Algorithm algorithm);
+/// All four algorithms in paper order.
+[[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+
+/// Maximum episode level the kernels support (frame-register episode copy).
+inline constexpr int kMaxLevel = 8;
+
+struct MiningLaunchParams {
+  Algorithm algorithm = Algorithm::kThreadTexture;
+  int threads_per_block = 128;
+  core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
+  core::ExpiryPolicy expiry = {};
+  int buffer_bytes = kDefaultBufferBytes;  ///< buffered algorithms only
+};
+
+/// A counting problem staged into simulated device memory, ready to launch.
+///
+/// Owns the device buffers; `kernel()` returns a kernel closure over views
+/// into them, so the problem must outlive the launch.
+class DeviceProblem {
+ public:
+  DeviceProblem(const core::Sequence& database, const std::vector<core::Episode>& episodes,
+                const MiningLaunchParams& params);
+
+  [[nodiscard]] const gpusim::LaunchConfig& launch_config() const noexcept { return config_; }
+  [[nodiscard]] gpusim::KernelFn kernel();
+  [[nodiscard]] const core::PackedEpisodes& packed() const noexcept { return packed_; }
+  [[nodiscard]] const MiningLaunchParams& params() const noexcept { return params_; }
+
+  /// Per-episode counts (real episodes only) after the kernel ran.
+  [[nodiscard]] std::vector<std::int64_t> extract_counts() const;
+
+ private:
+  MiningLaunchParams params_;
+  core::PackedEpisodes packed_;
+  gpusim::DeviceBuffer<core::Symbol> db_;
+  gpusim::DeviceBuffer<core::Symbol> episodes_;
+  gpusim::DeviceBuffer<std::uint32_t> counts_;
+  gpusim::DeviceBuffer<std::uint32_t> scratch_;  ///< block-level transfer tables
+  gpusim::LaunchConfig config_;
+  std::int64_t db_size_ = 0;
+};
+
+/// Functional run: stage, launch on `engine`, unpack counts + profile.
+struct MiningRun {
+  std::vector<std::int64_t> counts;
+  gpusim::LaunchResult launch;
+};
+
+[[nodiscard]] MiningRun run_mining_kernel(const gpusim::Engine& engine,
+                                          const core::Sequence& database,
+                                          const std::vector<core::Episode>& episodes,
+                                          const MiningLaunchParams& params);
+
+/// The launch geometry a given problem size produces (shared by the kernels
+/// and the analytic workload models).
+struct LaunchGeometry {
+  std::int64_t blocks = 0;
+  std::int64_t padded_episodes = 0;  ///< thread-level: episodes incl. padding
+  int shared_mem_per_block = 0;
+};
+
+[[nodiscard]] LaunchGeometry launch_geometry(Algorithm algorithm, std::int64_t episode_count,
+                                             int level, int threads_per_block,
+                                             int buffer_bytes);
+
+}  // namespace gm::kernels

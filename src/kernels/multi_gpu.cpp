@@ -1,0 +1,33 @@
+#include "kernels/multi_gpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gm::kernels {
+
+MultiGpuPrediction predict_multi_gpu(const gpusim::DeviceSpec& device, int dies,
+                                     const WorkloadSpec& spec,
+                                     const gpusim::CostModel& model) {
+  gm::expects(dies >= 1, "need at least one die");
+  gm::expects(spec.episode_count >= 1, "need at least one episode");
+
+  MultiGpuPrediction out;
+  const std::int64_t base = spec.episode_count / dies;
+  const std::int64_t extra = spec.episode_count % dies;
+  for (int d = 0; d < dies; ++d) {
+    const std::int64_t share = base + (d < extra ? 1 : 0);
+    out.episodes_per_die.push_back(share);
+    if (share == 0) {
+      out.per_die_ms.push_back(0.0);
+      continue;
+    }
+    WorkloadSpec die_spec = spec;
+    die_spec.episode_count = share;
+    out.per_die_ms.push_back(predict_mining_time(device, die_spec, model).total_ms);
+  }
+  out.total_ms = *std::max_element(out.per_die_ms.begin(), out.per_die_ms.end());
+  return out;
+}
+
+}  // namespace gm::kernels

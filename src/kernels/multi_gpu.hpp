@@ -1,0 +1,29 @@
+// Multi-die execution model.
+//
+// The paper's GeForce 9800 GX2 carries two G92 dies but was driven as a
+// single device; this extension models the obvious dual-die strategy the
+// paper leaves on the table: partition the episode set across dies, run the
+// same kernel on each, and finish when the slowest die finishes (counting is
+// embarrassingly parallel across episodes, so no cross-die reduce beyond
+// concatenation is needed).
+#pragma once
+
+#include <vector>
+
+#include "kernels/workload_model.hpp"
+
+namespace gm::kernels {
+
+struct MultiGpuPrediction {
+  double total_ms = 0.0;                ///< max over dies + per-die launch
+  std::vector<double> per_die_ms;
+  std::vector<std::int64_t> episodes_per_die;
+};
+
+/// Predict the kernel time when `spec.episode_count` episodes are split as
+/// evenly as possible across `dies` copies of `device`.
+[[nodiscard]] MultiGpuPrediction predict_multi_gpu(const gpusim::DeviceSpec& device, int dies,
+                                                   const WorkloadSpec& spec,
+                                                   const gpusim::CostModel& model = gpusim::CostModel());
+
+}  // namespace gm::kernels

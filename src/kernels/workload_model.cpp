@@ -1,0 +1,393 @@
+#include "kernels/workload_model.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace gm::kernels {
+namespace {
+
+using gpusim::BlockProfile;
+using gpusim::KernelProfile;
+using gpusim::TexAccessKind;
+using gpusim::TexturePattern;
+
+/// Per-lane totals within one barrier-delimited segment.
+struct LaneTotals {
+  double instr = 0;
+  double tex = 0;
+  double shared = 0;
+  double glob = 0;
+  double glob_bytes = 0;
+
+  LaneTotals& operator+=(const LaneTotals& o) {
+    instr += o.instr;
+    tex += o.tex;
+    shared += o.shared;
+    glob += o.glob;
+    glob_bytes += o.glob_bytes;
+    return *this;
+  }
+};
+
+/// Accumulates a BlockProfile from per-lane segment descriptions, mirroring
+/// the engine's warp aggregation (per-segment, per-field max over lanes).
+class BlockModel {
+ public:
+  BlockModel(int threads, int warp_size) : threads_(threads), warp_size_(warp_size) {
+    profile_.warps = (threads + warp_size - 1) / warp_size;
+  }
+
+  /// One segment: `lane_fn(lane)` gives that lane's totals.  A segment that
+  /// `ends_with_sync` charges the barrier instruction to every lane and
+  /// increments the block's barrier count.
+  void segment(const std::function<LaneTotals(int)>& lane_fn, bool ends_with_sync) {
+    LaneTotals segment_max;  // max over warps: the segment's critical path
+    for (int w = 0; w * warp_size_ < threads_; ++w) {
+      LaneTotals warp_max;
+      for (int lane = w * warp_size_; lane < std::min(threads_, (w + 1) * warp_size_);
+           ++lane) {
+        LaneTotals lt = lane_fn(lane);
+        if (ends_with_sync) lt.instr += 1;
+        warp_max.instr = std::max(warp_max.instr, lt.instr);
+        warp_max.tex = std::max(warp_max.tex, lt.tex);
+        warp_max.shared = std::max(warp_max.shared, lt.shared);
+        warp_max.glob = std::max(warp_max.glob, lt.glob);
+        profile_.lane_instructions += lt.instr;
+        profile_.tex_requests += lt.tex;
+        profile_.shared_requests += lt.shared;
+        profile_.global_requests += lt.glob;
+        profile_.global_bytes += lt.glob_bytes;
+      }
+      profile_.warp_instructions += warp_max.instr;
+      profile_.warp_tex_ops += warp_max.tex;
+      profile_.warp_shared_ops += warp_max.shared;
+      profile_.warp_global_ops += warp_max.glob;
+      segment_max.instr = std::max(segment_max.instr, warp_max.instr);
+      segment_max.tex = std::max(segment_max.tex, warp_max.tex);
+      segment_max.shared = std::max(segment_max.shared, warp_max.shared);
+      segment_max.glob = std::max(segment_max.glob, warp_max.glob);
+    }
+    profile_.path_instructions += segment_max.instr;
+    profile_.path_tex_ops += segment_max.tex;
+    profile_.path_shared_ops += segment_max.shared;
+    profile_.path_global_ops += segment_max.glob;
+    if (ends_with_sync) ++profile_.syncs;
+  }
+
+  [[nodiscard]] BlockProfile finish(const TexturePattern& pattern) {
+    profile_.texture = pattern;
+    return profile_;
+  }
+
+ private:
+  int threads_;
+  int warp_size_;
+  BlockProfile profile_;
+};
+
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+};
+
+Range thread_chunk(std::int64_t size, int threads, int tid) {
+  const std::int64_t base = size / threads;
+  const std::int64_t extra = size % threads;
+  Range r;
+  r.begin = tid * base + std::min<std::int64_t>(tid, extra);
+  r.end = r.begin + base + (tid < extra ? 1 : 0);
+  return r;
+}
+
+/// Elements lane `tid` copies in an interleaved load of `n` elements.
+std::int64_t copy_count(std::int64_t n, int threads, int tid) {
+  if (tid >= n) return 0;
+  return (n - 1 - tid) / threads + 1;
+}
+
+/// Rescan window length around `bound` (expiry mode).
+std::int64_t rescan_len(std::int64_t db_size, std::int64_t bound, std::int64_t window) {
+  const std::int64_t lo = std::max<std::int64_t>(0, bound - window);
+  const std::int64_t hi = std::min(db_size, bound + window);
+  return hi - lo;
+}
+
+// --------------------------------------------------------------------------
+// Per-algorithm block models (mirrors of mining_kernels.cpp).
+// --------------------------------------------------------------------------
+
+BlockProfile algo1_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+  const double N = static_cast<double>(s.db_size);
+  BlockModel block(t, dev.warp_size);
+  block.segment(
+      [&](int) {
+        LaneTotals lt;
+        lt.instr = N * (kUnbufferedScanInstr + 2) + 1;  // scan + fetch + ep load; store
+        lt.tex = N;
+        lt.glob = N + 1;
+        lt.glob_bytes = N * 1 + 4;
+        return lt;
+      },
+      /*ends_with_sync=*/false);
+  return block.finish({TexAccessKind::kBroadcast, N, /*sharing_key=*/1});
+}
+
+BlockProfile algo2_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+  const std::int64_t B = s.params.buffer_bytes;
+  const int L = s.level;
+  BlockModel block(t, dev.warp_size);
+
+  bool first = true;
+  for (std::int64_t base = 0; base < s.db_size; base += B) {
+    const std::int64_t n = std::min<std::int64_t>(B, s.db_size - base);
+    const bool upfront = first;
+    first = false;
+    // Load segment (plus the one-time episode staging in the first segment).
+    block.segment(
+        [&, n, upfront](int lane) {
+          LaneTotals lt;
+          if (upfront) {
+            lt.instr += L;
+            lt.glob += L;
+            lt.glob_bytes += L;
+          }
+          const auto c = static_cast<double>(copy_count(n, t, lane));
+          lt.instr += c * (kBufferCopyInstr + 2);  // copy math + fetch + store
+          lt.tex += c;
+          lt.shared += c;
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+    // Process segment: every thread scans the whole buffer.
+    block.segment(
+        [&, n](int) {
+          LaneTotals lt;
+          lt.instr = static_cast<double>(n) * (kBufferedScanInstr + 1);
+          lt.shared = static_cast<double>(n);
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+  }
+  // Final store.
+  block.segment(
+      [](int) {
+        LaneTotals lt;
+        lt.instr = 1;
+        lt.glob = 1;
+        lt.glob_bytes = 4;
+        return lt;
+      },
+      /*ends_with_sync=*/false);
+  return block.finish(
+      {TexAccessKind::kCoalescedStream, static_cast<double>(s.db_size), /*sharing_key=*/2});
+}
+
+BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+  const int L = s.level;
+  const bool expiry = s.params.expiry.enabled();
+  const bool simple = expiry || L == 1;  // no composition machinery
+  BlockModel block(t, dev.warp_size);
+
+  // Map segment: episode staging + chunk scan (+ boundary rescan with
+  // expiry) + outcome store, ending at the barrier.
+  block.segment(
+      [&](int lane) {
+        LaneTotals lt;
+        lt.instr += L;  // episode staging
+        lt.glob += L;
+        lt.glob_bytes += L;
+        const Range chunk = thread_chunk(s.db_size, t, lane);
+        const auto c = static_cast<double>(chunk.size());
+        if (!simple) {
+          lt.instr += c * (kBlockScanInstr + 2 + L * kAutomatonStepInstr);
+          lt.tex += c;
+          lt.glob += c;
+          lt.glob_bytes += c;
+          lt.instr += 2.0 * L;  // outcome packing + stores (device memory)
+          lt.glob += L;
+          lt.glob_bytes += 4.0 * L;
+        } else {
+          lt.instr += c * (kBlockScanInstr + 2 + kAutomatonStepInstr);
+          lt.tex += c;
+          lt.glob += c;
+          lt.glob_bytes += c;
+          if (expiry && chunk.end < s.db_size) {
+            const auto w = static_cast<double>(
+                rescan_len(s.db_size, chunk.end, s.params.expiry.window));
+            lt.instr += w * (kRescanInstr + 1 + kAutomatonStepInstr);
+            lt.tex += w;
+          }
+          lt.instr += 2;  // outcome store
+          lt.glob += 1;
+          lt.glob_bytes += 4;
+        }
+        return lt;
+      },
+      /*ends_with_sync=*/true);
+  // Fold segment: thread 0 only, reading the device-memory transfer table.
+  block.segment(
+      [&](int lane) {
+        LaneTotals lt;
+        if (lane == 0) {
+          lt.instr = static_cast<double>(t) * (kFoldStepInstr + 1) + 1;
+          lt.glob = static_cast<double>(t) + 1;
+          lt.glob_bytes = 4.0 * t + 4;
+        }
+        return lt;
+      },
+      /*ends_with_sync=*/false);
+  return block.finish(
+      {TexAccessKind::kStridedPerLane, static_cast<double>(s.db_size), /*sharing_key=*/0});
+}
+
+BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+  const std::int64_t B = s.params.buffer_bytes;
+  const int L = s.level;
+  const bool expiry = s.params.expiry.enabled();
+  const bool simple = expiry || L == 1;  // no composition machinery
+  BlockModel block(t, dev.warp_size);
+
+  bool first = true;
+  for (std::int64_t base = 0; base < s.db_size; base += B) {
+    const std::int64_t n = std::min<std::int64_t>(B, s.db_size - base);
+    const bool upfront = first;
+    first = false;
+    // Load segment: (first) episode staging, (later, !expiry) thread-0 fold
+    // of the previous iteration, cooperative copy.
+    block.segment(
+        [&, n, upfront](int lane) {
+          LaneTotals lt;
+          if (upfront) {
+            lt.instr += L;
+            lt.glob += L;
+            lt.glob_bytes += L;
+          } else if (!simple && lane == 0) {
+            lt.instr += static_cast<double>(t) * (kFoldStepInstr + 1);
+            lt.glob += static_cast<double>(t);
+            lt.glob_bytes += 4.0 * t;
+          }
+          const auto c = static_cast<double>(copy_count(n, t, lane));
+          lt.instr += c * (kBufferCopyInstr + 2);
+          lt.tex += c;
+          lt.shared += c;
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+    // Process segment.
+    block.segment(
+        [&, n, base](int lane) {
+          LaneTotals lt;
+          const Range slice = thread_chunk(n, t, lane);
+          const auto c = static_cast<double>(slice.size());
+          if (!simple) {
+            lt.instr += c * (kBlockScanInstr + 2 + L * kAutomatonStepInstr);
+            lt.shared += c;
+            lt.glob += c;
+            lt.glob_bytes += c;
+            lt.instr += 2.0 * L;  // outcome stores to device memory
+            lt.glob += L;
+            lt.glob_bytes += 4.0 * L;
+          } else {
+            lt.instr += c * (kBlockScanInstr + 2 + kAutomatonStepInstr);
+            lt.shared += c;
+            lt.glob += c;
+            lt.glob_bytes += c;
+            const std::int64_t bound = base + slice.end;
+            if (expiry && bound < s.db_size) {
+              const auto w = static_cast<double>(
+                  rescan_len(s.db_size, bound, s.params.expiry.window));
+              lt.instr += w * (kRescanInstr + 1 + kAutomatonStepInstr);
+              lt.tex += w;
+            }
+          }
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+  }
+
+  if (!simple) {
+    // Final fold + store (thread 0).
+    block.segment(
+        [&](int lane) {
+          LaneTotals lt;
+          if (lane == 0) {
+            lt.instr = static_cast<double>(t) * (kFoldStepInstr + 1) + 1;
+            lt.glob = static_cast<double>(t) + 1;
+            lt.glob_bytes = 4.0 * t + 4;
+          }
+          return lt;
+        },
+        /*ends_with_sync=*/false);
+  } else {
+    // Outcome store, barrier, then thread-0 sum + store.
+    block.segment(
+        [](int) {
+          LaneTotals lt;
+          lt.instr = 2;
+          lt.glob = 1;
+          lt.glob_bytes = 4;
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+    block.segment(
+        [&](int lane) {
+          LaneTotals lt;
+          if (lane == 0) {
+            lt.instr = static_cast<double>(t) * (kFoldStepInstr + 1) + 1;
+            lt.glob = static_cast<double>(t) + 1;
+            lt.glob_bytes = 4.0 * t + 4;
+          }
+          return lt;
+        },
+        /*ends_with_sync=*/false);
+  }
+  return block.finish(
+      {TexAccessKind::kCoalescedStream, static_cast<double>(s.db_size), /*sharing_key=*/4});
+}
+
+}  // namespace
+
+gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec) {
+  const LaunchGeometry geo =
+      launch_geometry(spec.params.algorithm, spec.episode_count, spec.level,
+                      spec.params.threads_per_block, spec.params.buffer_bytes);
+  gpusim::LaunchConfig config;
+  config.grid = gpusim::Dim3(static_cast<int>(geo.blocks));
+  config.block = gpusim::Dim3(spec.params.threads_per_block);
+  config.shared_mem_per_block = geo.shared_mem_per_block;
+  config.registers_per_thread = kRegistersPerThread;
+  return config;
+}
+
+gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const WorkloadSpec& spec) {
+  gm::expects(spec.db_size > 0, "database must be non-empty");
+  gm::expects(spec.episode_count > 0, "need at least one episode");
+  gm::expects(spec.level >= 1 && spec.level <= kMaxLevel, "level outside kernel support");
+
+  const int t = spec.params.threads_per_block;
+  BlockProfile block;
+  switch (spec.params.algorithm) {
+    case Algorithm::kThreadTexture: block = algo1_block(device, spec, t); break;
+    case Algorithm::kThreadBuffered: block = algo2_block(device, spec, t); break;
+    case Algorithm::kBlockTexture: block = algo3_block(device, spec, t); break;
+    case Algorithm::kBlockBuffered: block = algo4_block(device, spec, t); break;
+  }
+
+  const LaunchGeometry geo =
+      launch_geometry(spec.params.algorithm, spec.episode_count, spec.level,
+                      spec.params.threads_per_block, spec.params.buffer_bytes);
+  KernelProfile profile;
+  profile.add_block(block, geo.blocks);
+  return profile;
+}
+
+gpusim::TimeBreakdown predict_mining_time(const gpusim::DeviceSpec& device,
+                                          const WorkloadSpec& spec,
+                                          const gpusim::CostModel& model) {
+  return model.predict(device, model_launch_config(spec), model_profile(device, spec));
+}
+
+}  // namespace gm::kernels

@@ -1,0 +1,42 @@
+// Closed-form workload models of the four mining kernels.
+//
+// `model_profile` computes, analytically, exactly the KernelProfile the
+// functional engine would measure for a given problem size and launch — the
+// per-warp segment maxima, memory-operation counts and barrier structure of
+// mining_kernels.cpp, without touching any data.  This is what lets the
+// benchmark harnesses sweep the paper's full 393,019-symbol configuration
+// space in milliseconds; tests/kernels/workload_model_test.cpp asserts exact
+// field-for-field equality against the engine on adversarial small sizes.
+#pragma once
+
+#include "kernels/mining_kernels.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/profile.hpp"
+
+namespace gm::kernels {
+
+/// Problem shape (no data needed: kernel charges are data-independent,
+/// matching the paper's C1 constant-time-per-symbol observation).
+struct WorkloadSpec {
+  std::int64_t db_size = 0;
+  std::int64_t episode_count = 0;
+  int level = 1;
+  MiningLaunchParams params;
+};
+
+/// The launch configuration run_mining_kernel would use for this spec.
+[[nodiscard]] gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec);
+
+/// The kernel profile the functional engine would measure for this spec
+/// (tex_miss_bytes is left 0: declared texture patterns drive the traffic
+/// model instead).
+[[nodiscard]] gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device,
+                                                  const WorkloadSpec& spec);
+
+/// Convenience: predicted kernel time for this spec on this card.
+[[nodiscard]] gpusim::TimeBreakdown predict_mining_time(const gpusim::DeviceSpec& device,
+                                                        const WorkloadSpec& spec,
+                                                        const gpusim::CostModel& model);
+
+}  // namespace gm::kernels

@@ -1,0 +1,122 @@
+#include "mapreduce/episode_job.hpp"
+
+#include "common/error.hpp"
+#include "core/serial_counter.hpp"
+
+namespace gm::mapreduce {
+namespace {
+
+struct ChunkUnit {
+  std::size_t episode = 0;
+  int chunk = 0;
+};
+
+}  // namespace
+
+std::vector<std::int64_t> count_episodes_thread_level(
+    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    const EpisodeCountOptions& options) {
+  gm::expects(!episodes.empty(), "need at least one episode");
+
+  std::vector<std::size_t> indices(episodes.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  Job<std::size_t, std::size_t, std::int64_t> job;
+  job.threads = options.threads;
+  job.map = [&](const std::size_t& index, Emitter<std::size_t, std::int64_t>& emitter) {
+    emitter.emit(index, core::count_occurrences(episodes[index], database, options.semantics,
+                                                options.expiry));
+  };
+  job.reduce = [](const std::size_t&, const std::vector<std::int64_t>& values) {
+    gm::ensure(values.size() == 1, "thread-level reduce must be the identity");
+    return values.front();
+  };
+
+  const auto pairs = run(job, indices);
+  std::vector<std::int64_t> counts(episodes.size(), 0);
+  for (const auto& [key, value] : pairs) counts[key] = value;
+  return counts;
+}
+
+std::vector<std::int64_t> count_episodes_block_level(
+    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    const EpisodeCountOptions& options) {
+  gm::expects(!episodes.empty(), "need at least one episode");
+  gm::expects(options.chunks >= 1, "need at least one chunk");
+
+  const auto bounds =
+      core::chunk_boundaries(static_cast<std::int64_t>(database.size()), options.chunks);
+
+  std::vector<ChunkUnit> units;
+  units.reserve(episodes.size() * static_cast<std::size_t>(options.chunks));
+  for (std::size_t e = 0; e < episodes.size(); ++e) {
+    for (int c = 0; c < options.chunks; ++c) units.push_back({e, c});
+  }
+
+  // Map emits the chunk's transfer function (outcome per entry state) keyed
+  // by episode; reduce sorts by chunk and folds — exactly the spanning
+  // correction of Figure 5 expressed as a reduce.
+  struct ChunkResult {
+    int chunk = 0;
+    core::SegmentTransfer transfer;
+    std::int64_t rescan_crossers = 0;
+  };
+
+  Job<ChunkUnit, std::size_t, ChunkResult> job;
+  job.threads = options.threads;
+  job.map = [&](const ChunkUnit& unit, Emitter<std::size_t, ChunkResult>& emitter) {
+    const auto& episode = episodes[unit.episode];
+    ChunkResult result;
+    result.chunk = unit.chunk;
+    const auto begin = bounds[static_cast<std::size_t>(unit.chunk)];
+    const auto end = bounds[static_cast<std::size_t>(unit.chunk) + 1];
+    if (!options.expiry.enabled()) {
+      result.transfer = core::segment_transfer(episode.symbols(), options.semantics,
+                                               options.expiry, database, begin, end);
+    } else {
+      // Expiry mode: independent chunk count + boundary crossers, matching
+      // the GPU kernels' overlap-rescan strategy.
+      result.transfer.by_entry_state.push_back(
+          core::scan_segment(episode.symbols(), options.semantics, options.expiry, database,
+                             begin, end, 0, 0));
+      if (unit.chunk + 1 < options.chunks) {
+        result.rescan_crossers = core::count_boundary_crossers(
+            episode.symbols(), options.semantics, options.expiry, database, end,
+            bounds[static_cast<std::size_t>(unit.chunk) + 2], options.expiry.window);
+      }
+    }
+    emitter.emit(unit.episode, std::move(result));
+  };
+  job.reduce = [&](const std::size_t&, const std::vector<ChunkResult>& values) {
+    std::vector<const ChunkResult*> ordered(values.size());
+    for (const auto& v : values) {
+      gm::ensure(v.chunk >= 0 && static_cast<std::size_t>(v.chunk) < ordered.size(),
+                 "chunk index out of range in reduce");
+      ordered[static_cast<std::size_t>(v.chunk)] = &v;
+    }
+    ChunkResult folded;
+    std::int64_t count = 0;
+    int state = 0;
+    for (const ChunkResult* r : ordered) {
+      gm::ensure(r != nullptr, "missing chunk in reduce");
+      if (!options.expiry.enabled()) {
+        const auto& o = r->transfer.by_entry_state[static_cast<std::size_t>(state)];
+        count += o.count;
+        state = o.exit_state;
+      } else {
+        count += r->transfer.by_entry_state.front().count + r->rescan_crossers;
+      }
+    }
+    folded.transfer.by_entry_state.push_back({count, 0, 0});
+    return folded;
+  };
+
+  const auto pairs = run(job, units);
+  std::vector<std::int64_t> counts(episodes.size(), 0);
+  for (const auto& [key, value] : pairs) {
+    counts[key] = value.transfer.by_entry_state.front().count;
+  }
+  return counts;
+}
+
+}  // namespace gm::mapreduce

@@ -1,0 +1,40 @@
+// Episode counting expressed as MapReduce jobs, mirroring the paper's two
+// parallelization granularities (section 3.3.1):
+//
+//  * thread-level: the map unit is one episode; map emits its full-database
+//    count; reduce is the identity (one value per key).
+//  * block-level: the map unit is one (episode, chunk) pair; map emits the
+//    chunk's transfer outcome; reduce composes the outcomes in chunk order —
+//    the "intermediate step" of Figure 5 folded into the reduce function.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/episode.hpp"
+#include "core/segment_counter.hpp"
+#include "mapreduce/mapreduce.hpp"
+
+namespace gm::mapreduce {
+
+struct EpisodeCountOptions {
+  core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
+  core::ExpiryPolicy expiry = {};
+  int threads = 0;  ///< host workers
+  int chunks = 16;  ///< block-level: database chunks per episode
+};
+
+/// Thread-level job: one map call per episode, identity reduce.
+[[nodiscard]] std::vector<std::int64_t> count_episodes_thread_level(
+    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    const EpisodeCountOptions& options = {});
+
+/// Block-level job: one map call per (episode, chunk), composing reduce.
+/// Exact (state-composition spanning fix) when expiry is disabled; with
+/// expiry it applies the overlap-rescan fix like the GPU kernels.
+[[nodiscard]] std::vector<std::int64_t> count_episodes_block_level(
+    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    const EpisodeCountOptions& options = {});
+
+}  // namespace gm::mapreduce

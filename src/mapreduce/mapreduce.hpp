@@ -1,0 +1,113 @@
+// Generic in-process MapReduce (paper section 2.2 framing).
+//
+// A small, fully typed map/shuffle/reduce engine: map runs in parallel over
+// records across a host thread pool, intermediate pairs are grouped by key,
+// and reduce runs in parallel over keys.  The episode-counting adapters in
+// episode_job.hpp express the paper's algorithms in these terms: the map
+// unit is an episode (thread-level) or an (episode, chunk) pair
+// (block-level), and reduce is identity or a sum with a spanning fix-up.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gm::mapreduce {
+
+/// Collects intermediate key/value pairs emitted by one map invocation.
+template <typename Key, typename Value>
+class Emitter {
+ public:
+  void emit(Key key, Value value) { pairs_.emplace_back(std::move(key), std::move(value)); }
+  [[nodiscard]] std::vector<std::pair<Key, Value>>& pairs() noexcept { return pairs_; }
+
+ private:
+  std::vector<std::pair<Key, Value>> pairs_;
+};
+
+template <typename Input, typename Key, typename Value>
+struct Job {
+  /// map(record, emitter): emit any number of intermediate pairs.
+  std::function<void(const Input&, Emitter<Key, Value>&)> map;
+  /// reduce(key, values) -> final value for that key.
+  std::function<Value(const Key&, const std::vector<Value>&)> reduce;
+  /// Host threads for the map and reduce phases (0 = hardware default).
+  int threads = 0;
+};
+
+/// Run the job; results are sorted by key.
+template <typename Input, typename Key, typename Value>
+[[nodiscard]] std::vector<std::pair<Key, Value>> run(
+    const Job<Input, Key, Value>& job, const std::vector<Input>& inputs) {
+  gm::expects(static_cast<bool>(job.map), "job needs a map function");
+  gm::expects(static_cast<bool>(job.reduce), "job needs a reduce function");
+
+  int workers = job.threads > 0 ? job.threads
+                                : static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::max(1, std::min<int>(workers, static_cast<int>(std::max<std::size_t>(
+                                                   inputs.size(), 1))));
+
+  // --- map phase ------------------------------------------------------------
+  std::vector<std::vector<std::pair<Key, Value>>> partials(
+      static_cast<std::size_t>(workers));
+  {
+    std::atomic<std::size_t> next{0};
+    auto work = [&](int w) {
+      Emitter<Key, Value> emitter;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= inputs.size()) break;
+        job.map(inputs[i], emitter);
+      }
+      partials[static_cast<std::size_t>(w)] = std::move(emitter.pairs());
+    };
+    if (workers == 1) {
+      work(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(work, w);
+      for (auto& t : pool) t.join();
+    }
+  }
+
+  // --- shuffle: group by key --------------------------------------------------
+  std::map<Key, std::vector<Value>> grouped;
+  for (auto& part : partials) {
+    for (auto& [key, value] : part) grouped[key].push_back(std::move(value));
+  }
+
+  // --- reduce phase -----------------------------------------------------------
+  std::vector<std::pair<Key, std::vector<Value>>> items;
+  items.reserve(grouped.size());
+  for (auto& [key, values] : grouped) items.emplace_back(key, std::move(values));
+
+  std::vector<std::pair<Key, Value>> results(items.size());
+  {
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= items.size()) break;
+        results[i] = {items[i].first, job.reduce(items[i].first, items[i].second)};
+      }
+    };
+    if (workers == 1) {
+      work();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+      for (auto& t : pool) t.join();
+    }
+  }
+  return results;
+}
+
+}  // namespace gm::mapreduce

@@ -1,0 +1,71 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(int size_bytes, int line_bytes, int assoc)
+    : line_bytes_(line_bytes), assoc_(assoc) {
+  gm::expects(is_pow2(line_bytes), "cache line size must be a power of two");
+  gm::expects(assoc > 0, "associativity must be positive");
+  gm::expects(size_bytes >= line_bytes * assoc, "cache must hold at least one set");
+  sets_ = size_bytes / (line_bytes * assoc);
+  gm::expects(is_pow2(sets_), "cache set count must be a power of two");
+  line_shift_ = std::countr_zero(static_cast<unsigned>(line_bytes));
+  set_mask_ = static_cast<std::uint64_t>(sets_) - 1;
+  ways_.assign(static_cast<std::size_t>(sets_) * assoc_, Way{});
+}
+
+bool CacheSim::access(std::uint64_t address) noexcept {
+  const std::uint64_t line = address >> line_shift_;
+  const auto set = static_cast<std::size_t>(line & set_mask_);
+  const std::uint64_t tag = line >> std::countr_zero(static_cast<unsigned long long>(sets_));
+  Way* base = &ways_[set * static_cast<std::size_t>(assoc_)];
+
+  ++stats_.accesses;
+  ++tick_;
+
+  Way* victim = base;
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  ++stats_.misses;
+  return false;
+}
+
+int CacheSim::access_range(std::uint64_t address, int bytes) noexcept {
+  int misses = 0;
+  const std::uint64_t first = address >> line_shift_;
+  const std::uint64_t last = (address + static_cast<std::uint64_t>(bytes > 0 ? bytes - 1 : 0)) >> line_shift_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access(line << line_shift_)) ++misses;
+  }
+  return misses;
+}
+
+void CacheSim::reset() noexcept {
+  for (auto& w : ways_) w = Way{};
+  stats_ = Stats{};
+  tick_ = 0;
+}
+
+}  // namespace gpusim

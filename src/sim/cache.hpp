@@ -1,0 +1,63 @@
+// Set-associative LRU cache simulator.
+//
+// Used to model the per-SM read-only texture cache of CUDA 1.x devices
+// (6–8 KB working set per the paper, section 4.2.1).  The functional engine
+// feeds every lane-level texture fetch through one instance per block; the
+// analytic traffic model in the cost model reproduces the same first-order
+// behaviour in closed form for full-scale runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpusim {
+
+class CacheSim {
+ public:
+  struct Stats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+    }
+  };
+
+  /// `size_bytes` total capacity, `line_bytes` block size, `assoc` ways.
+  /// All must be powers of two with size >= line * assoc.
+  CacheSim(int size_bytes, int line_bytes, int assoc);
+
+  /// Touch one byte address; returns true on hit.  Adjacent bytes within a
+  /// line hit after the first access, modelling spatial locality.
+  bool access(std::uint64_t address) noexcept;
+
+  /// Touch a byte range (e.g. a multi-byte fetch); returns number of misses.
+  int access_range(std::uint64_t address, int bytes) noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int line_bytes() const noexcept { return line_bytes_; }
+  [[nodiscard]] std::uint64_t miss_bytes() const noexcept {
+    return stats_.misses * static_cast<std::uint64_t>(line_bytes_);
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  int line_bytes_;
+  int assoc_;
+  int sets_;
+  int line_shift_;
+  std::uint64_t set_mask_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  // sets_ * assoc_, row-major by set
+  Stats stats_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,58 @@
+// Functional SIMT execution engine.
+//
+// Executes a kernel (one coroutine per simulated thread) block by block,
+// modelling warp-lockstep issue for the hardware counters: between barriers,
+// each warp's cost is the max over its lanes, matching SIMT semantics where
+// divergent lanes serialize within the warp.  Blocks are independent (as in
+// CUDA) and are executed across a host thread pool.
+//
+// The engine produces *counters*, not time — `CostModel` (sim/cost_model.hpp)
+// turns a `KernelProfile` into predicted execution time for a given card.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device_spec.hpp"
+#include "sim/launch.hpp"
+#include "sim/occupancy.hpp"
+#include "sim/profile.hpp"
+#include "sim/thread_ctx.hpp"
+
+namespace gpusim {
+
+struct EngineOptions {
+  /// Host threads used to execute independent blocks; 0 = hardware default.
+  int host_threads = 0;
+  /// Feed every texture fetch through a per-block CacheSim.  Disable to speed
+  /// up functional runs whose miss counts are not needed.
+  bool simulate_texture_cache = true;
+};
+
+struct LaunchResult {
+  KernelProfile profile;
+  ProfileTotals totals;
+  Occupancy occupancy;
+  /// Texture-cache statistics accumulated over all blocks (each block is
+  /// simulated against its own cache instance; co-residency sharing is a
+  /// cost-model concern).
+  CacheSim::Stats texture_cache;
+};
+
+class Engine {
+ public:
+  explicit Engine(DeviceSpec spec, EngineOptions options = {});
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+
+  /// Execute `kernel` under `config`.  Throws gm::DeviceError for launches the
+  /// device cannot host and propagates any exception thrown by the kernel
+  /// body (including divergent-barrier detection).
+  [[nodiscard]] LaunchResult launch(const LaunchConfig& config, const KernelFn& kernel) const;
+
+ private:
+  DeviceSpec spec_;
+  EngineOptions options_;
+};
+
+}  // namespace gpusim

@@ -1,0 +1,61 @@
+// Kernel launch geometry: CUDA-style dim3 grids/blocks plus per-launch
+// resource declarations (shared memory, registers per thread).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+/// CUDA dim3: up to three logical dimensions, each >= 1.
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(int x_, int y_ = 1, int z_ = 1) : x(x_), y(y_), z(z_) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const noexcept {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+  friend bool operator==(Dim3, Dim3) = default;
+};
+
+/// Full description of one kernel launch.
+struct LaunchConfig {
+  Dim3 grid{1};
+  Dim3 block{1};
+  /// Dynamic shared memory requested per block, in bytes.
+  int shared_mem_per_block = 0;
+  /// Registers consumed per thread (compiler-reported in real CUDA; declared
+  /// by the kernel here).  Drives the occupancy calculation.
+  int registers_per_thread = 16;
+
+  [[nodiscard]] std::int64_t total_blocks() const noexcept { return grid.count(); }
+  [[nodiscard]] std::int64_t threads_per_block() const noexcept { return block.count(); }
+  [[nodiscard]] std::int64_t total_threads() const noexcept {
+    return total_blocks() * threads_per_block();
+  }
+};
+
+/// Linear indices handed to kernels; mirrors threadIdx/blockIdx flattening.
+struct ThreadCoordinates {
+  int block_index = 0;   ///< linearized blockIdx
+  int thread_index = 0;  ///< linearized threadIdx within the block
+  int block_dim = 1;     ///< threads per block
+  int grid_dim = 1;      ///< blocks in grid
+
+  [[nodiscard]] constexpr int global_thread() const noexcept {
+    return block_index * block_dim + thread_index;
+  }
+  [[nodiscard]] constexpr int warp_in_block(int warp_size) const noexcept {
+    return thread_index / warp_size;
+  }
+  [[nodiscard]] constexpr int lane(int warp_size) const noexcept {
+    return thread_index % warp_size;
+  }
+};
+
+}  // namespace gpusim

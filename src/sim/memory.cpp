@@ -1,0 +1,14 @@
+#include "sim/memory.hpp"
+
+namespace gpusim::detail {
+
+std::uint64_t allocate_address_range(std::uint64_t bytes) {
+  // Simulated addresses only feed the cache model; ranges are spaced out on
+  // 1 MiB boundaries so buffers never share cache lines.
+  static std::atomic<std::uint64_t> next{1ULL << 20};
+  constexpr std::uint64_t kAlign = 1ULL << 20;
+  const std::uint64_t rounded = (bytes + kAlign - 1) / kAlign * kAlign + kAlign;
+  return next.fetch_add(rounded, std::memory_order_relaxed);
+}
+
+}  // namespace gpusim::detail

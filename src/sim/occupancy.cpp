@@ -1,0 +1,115 @@
+#include "sim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpusim {
+
+std::string to_string(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kThreadsPerSm: return "threads/SM";
+    case OccupancyLimiter::kBlocksPerSm: return "blocks/SM";
+    case OccupancyLimiter::kWarpsPerSm: return "warps/SM";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kSharedMemory: return "shared memory";
+    case OccupancyLimiter::kGridTooSmall: return "grid size";
+  }
+  return "?";
+}
+
+int warps_for_threads(const DeviceSpec& device, std::int64_t threads) {
+  return static_cast<int>((threads + device.warp_size - 1) / device.warp_size);
+}
+
+Occupancy compute_occupancy(const DeviceSpec& device, const LaunchConfig& launch) {
+  device.validate();
+  const std::int64_t tpb = launch.threads_per_block();
+  gm::expects(tpb > 0 && launch.total_blocks() > 0, "launch must have threads and blocks");
+
+  if (tpb > device.max_threads_per_block) {
+    gm::raise_device("block of " + std::to_string(tpb) + " threads exceeds device limit of " +
+                     std::to_string(device.max_threads_per_block));
+  }
+  if (launch.shared_mem_per_block > device.shared_mem_per_block) {
+    gm::raise_device("requested " + std::to_string(launch.shared_mem_per_block) +
+                     " B shared memory exceeds per-block limit of " +
+                     std::to_string(device.shared_mem_per_block) + " B");
+  }
+
+  const int warps_per_block = warps_for_threads(device, tpb);
+
+  // Register allocation is rounded up to the device's allocation unit per
+  // block, matching the official occupancy calculator's behaviour.
+  const std::int64_t raw_regs = static_cast<std::int64_t>(launch.registers_per_thread) * tpb;
+  const std::int64_t unit = device.register_alloc_unit;
+  const std::int64_t regs_per_block =
+      launch.registers_per_thread == 0 ? 0 : ((raw_regs + unit - 1) / unit) * unit;
+  if (regs_per_block > device.registers_per_sm) {
+    gm::raise_device("one block needs " + std::to_string(regs_per_block) +
+                     " registers; SM has " + std::to_string(device.registers_per_sm));
+  }
+
+  struct Candidate {
+    std::int64_t blocks;
+    OccupancyLimiter limiter;
+  };
+  const Candidate candidates[] = {
+      {device.max_threads_per_sm / tpb, OccupancyLimiter::kThreadsPerSm},
+      {device.max_blocks_per_sm, OccupancyLimiter::kBlocksPerSm},
+      {device.max_warps_per_sm / warps_per_block, OccupancyLimiter::kWarpsPerSm},
+      {regs_per_block == 0 ? std::int64_t{device.max_blocks_per_sm}
+                           : device.registers_per_sm / regs_per_block,
+       OccupancyLimiter::kRegisters},
+      {launch.shared_mem_per_block == 0
+           ? std::int64_t{device.max_blocks_per_sm}
+           : device.shared_mem_per_sm / launch.shared_mem_per_block,
+       OccupancyLimiter::kSharedMemory},
+  };
+
+  Occupancy occ;
+  std::int64_t best = candidates[0].blocks;
+  occ.limiter = candidates[0].limiter;
+  for (const auto& c : candidates) {
+    if (c.blocks < best) {
+      best = c.blocks;
+      occ.limiter = c.limiter;
+    }
+  }
+  if (best < 1) {
+    gm::raise_device("launch config yields zero active blocks per SM (limited by " +
+                     to_string(occ.limiter) + ")");
+  }
+
+  const std::int64_t total_blocks = launch.total_blocks();
+  occ.active_blocks_per_sm = static_cast<int>(best);
+
+  // If the grid cannot even give every SM one block, the grid itself is the
+  // binding constraint (paper C4: "not enough work").
+  const std::int64_t hostable = best * device.multiprocessors;
+  if (total_blocks < device.multiprocessors) {
+    occ.limiter = OccupancyLimiter::kGridTooSmall;
+  }
+
+  occ.active_warps_per_sm = occ.active_blocks_per_sm * warps_per_block;
+  occ.active_threads_per_sm = static_cast<int>(occ.active_blocks_per_sm * tpb);
+  occ.warp_occupancy =
+      static_cast<double>(occ.active_warps_per_sm) / device.max_warps_per_sm;
+
+  occ.concurrent_blocks_device =
+      static_cast<int>(std::min<std::int64_t>(hostable, total_blocks));
+  occ.busy_sms = static_cast<int>(
+      std::min<std::int64_t>(device.multiprocessors,
+                             (total_blocks + best - 1) / best < device.multiprocessors
+                                 ? (total_blocks + best - 1) / best
+                                 : device.multiprocessors));
+  // Blocks are dealt round-robin, so with more blocks than SMs every SM is
+  // busy; otherwise one block per SM.
+  if (total_blocks < device.multiprocessors) {
+    occ.busy_sms = static_cast<int>(total_blocks);
+  }
+  occ.waves = static_cast<int>((total_blocks + hostable - 1) / hostable);
+  return occ;
+}
+
+}  // namespace gpusim

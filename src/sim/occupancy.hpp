@@ -1,0 +1,55 @@
+// Occupancy calculator: how many blocks of a given launch can be resident on
+// one SM simultaneously, and which hardware limit binds.
+//
+// This mirrors the NVIDIA CUDA Occupancy Calculator the paper discusses in
+// section 6 (and improves on it: the cost model also accounts for how many
+// SMs are busy, which the paper notes the official calculator ignores —
+// "30 multiprocessors of occupancy 66% might perform better than 15
+// multiprocessors at 100%").
+#pragma once
+
+#include <string>
+
+#include "sim/device_spec.hpp"
+#include "sim/launch.hpp"
+
+namespace gpusim {
+
+/// Which per-SM resource capped the number of active blocks.
+enum class OccupancyLimiter {
+  kThreadsPerSm,
+  kBlocksPerSm,
+  kWarpsPerSm,
+  kRegisters,
+  kSharedMemory,
+  kGridTooSmall,  ///< fewer blocks in the grid than the hardware could host
+};
+
+[[nodiscard]] std::string to_string(OccupancyLimiter limiter);
+
+/// Result of the occupancy computation for one (device, launch) pair.
+struct Occupancy {
+  int active_blocks_per_sm = 0;  ///< co-resident blocks on one SM
+  int active_warps_per_sm = 0;
+  int active_threads_per_sm = 0;
+  /// active warps / max warps, in [0, 1]; the official calculator's metric.
+  double warp_occupancy = 0.0;
+  OccupancyLimiter limiter = OccupancyLimiter::kBlocksPerSm;
+
+  /// Blocks simultaneously resident across the whole device.
+  int concurrent_blocks_device = 0;
+  /// Number of SMs that receive at least one block in the first wave.
+  int busy_sms = 0;
+  /// ceil(total_blocks / concurrent_blocks_device): full scheduling waves.
+  int waves = 0;
+};
+
+/// Compute occupancy; throws gm::DeviceError if the launch is not runnable at
+/// all (block too large, shared memory over per-block limit, zero registers
+/// fit, ...).
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& device, const LaunchConfig& launch);
+
+/// Warps needed to hold `threads` threads (ceiling division by warp size).
+[[nodiscard]] int warps_for_threads(const DeviceSpec& device, std::int64_t threads);
+
+}  // namespace gpusim

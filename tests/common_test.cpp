@@ -1,0 +1,120 @@
+// Tests for the shared utilities: error machinery, RNG, bench reporting.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "bench_support/report.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gm {
+namespace {
+
+TEST(Error, TypedHierarchy) {
+  EXPECT_THROW(raise_precondition("x"), PreconditionError);
+  EXPECT_THROW(raise_invariant("x"), InvariantError);
+  EXPECT_THROW(raise_device("x"), DeviceError);
+  try {
+    raise_device("bad launch");
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad launch"), std::string::npos);
+    EXPECT_NE(what.find("device error"), std::string::npos);
+  }
+}
+
+TEST(Error, ExpectsAndEnsurePassThrough) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(expects(false, "nope"), PreconditionError);
+  EXPECT_THROW(ensure(false, "nope"), InvariantError);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+  EXPECT_NE(Rng(123)(), Rng(124)());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(9);
+  std::array<int, 7> histogram{};
+  for (int i = 0; i < 70'000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++histogram[v];
+  }
+  for (const int count : histogram) EXPECT_NEAR(count, 10'000, 600);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.between(3, 3), 3);
+}
+
+TEST(Rng, UnitAndChance) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10'000; ++i) heads += rng.chance(0.25);
+  EXPECT_NEAR(heads, 2500, 250);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(1);
+  Rng child = parent.split();
+  EXPECT_NE(parent(), child());
+}
+
+TEST(Report, SeriesTableFormats) {
+  bench::SeriesTable table("demo", "x", {1, 2});
+  table.add({"a", {1.5, 2.5}});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("1.500"), std::string::npos);
+
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("x,a"), std::string::npos);
+  EXPECT_THROW(table.add({"bad", {1.0}}), PreconditionError);
+}
+
+TEST(Report, BestOfFindsMinimum) {
+  const auto best = bench::best_of({16, 32, 64}, {3.0, 1.0, 2.0});
+  EXPECT_EQ(best.x, 32);
+  EXPECT_DOUBLE_EQ(best.value, 1.0);
+  EXPECT_THROW((void)bench::best_of({}, {}), PreconditionError);
+}
+
+TEST(Report, PaperSweepShape) {
+  const auto sweep = bench::paper_thread_sweep();
+  EXPECT_EQ(sweep.front(), 16);
+  EXPECT_EQ(sweep.back(), 512);
+  for (std::size_t i = 1; i < sweep.size(); ++i) EXPECT_GT(sweep[i], sweep[i - 1]);
+}
+
+}  // namespace
+}  // namespace gm

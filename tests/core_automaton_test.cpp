@@ -1,0 +1,131 @@
+// Unit tests for the episode-counting automaton (paper Figure 3) under both
+// semantics and with expiry windows.
+#include <gtest/gtest.h>
+
+#include "core/alphabet.hpp"
+#include "core/automaton.hpp"
+#include "core/episode.hpp"
+#include "core/serial_counter.hpp"
+
+namespace gm::core {
+namespace {
+
+const Alphabet kAbc = Alphabet::english_uppercase();
+
+std::int64_t count(std::string_view db, std::string_view episode, Semantics semantics,
+                   ExpiryPolicy expiry = {}) {
+  return count_occurrences(Episode::from_text(kAbc, episode), kAbc.parse(db), semantics,
+                           expiry);
+}
+
+TEST(Automaton, Level1CountsEverySymbol) {
+  EXPECT_EQ(count("AAAA", "A", Semantics::kNonOverlappedSubsequence), 4);
+  EXPECT_EQ(count("AAAA", "A", Semantics::kContiguousRestart), 4);
+  EXPECT_EQ(count("BBBB", "A", Semantics::kNonOverlappedSubsequence), 0);
+}
+
+TEST(Automaton, SubsequenceAllowsGaps) {
+  // A...B counts as an appearance per the paper's formal definition.
+  EXPECT_EQ(count("ACB", "AB", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("AXXXB", "AB", Semantics::kNonOverlappedSubsequence), 1);
+}
+
+TEST(Automaton, ContiguousRestartRejectsGaps) {
+  EXPECT_EQ(count("ACB", "AB", Semantics::kContiguousRestart), 0);
+  EXPECT_EQ(count("AB", "AB", Semantics::kContiguousRestart), 1);
+}
+
+TEST(Automaton, ContiguousRestartOnFirstSymbol) {
+  // Figure 3: a mismatching symbol equal to a1 restarts at state 1.
+  EXPECT_EQ(count("AAB", "AB", Semantics::kContiguousRestart), 1);
+  EXPECT_EQ(count("AAAB", "AB", Semantics::kContiguousRestart), 1);
+  EXPECT_EQ(count("ABAB", "AB", Semantics::kContiguousRestart), 2);
+}
+
+TEST(Automaton, NonOverlappedCountIsGreedy) {
+  // A single automaton counts sequential, non-interleaved occurrences: in
+  // AABB the greedy match A@0..B@2 consumes the automaton, leaving only the
+  // trailing B — interleaved pairs are not counted separately.
+  EXPECT_EQ(count("ABAB", "AB", Semantics::kNonOverlappedSubsequence), 2);
+  EXPECT_EQ(count("ABB", "AB", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("AABB", "AB", Semantics::kNonOverlappedSubsequence), 1);
+}
+
+TEST(Automaton, PaperFigure5Example) {
+  // Searching B => C in "ABCBCA ABCB C" style data; spanning handled later,
+  // serial truth here: "ABCBCABCBC" has two non-overlapped B..C occurrences
+  // in each half.
+  EXPECT_EQ(count("ABCBCA", "BC", Semantics::kNonOverlappedSubsequence), 2);
+  EXPECT_EQ(count("ABCBCAABCBC", "BC", Semantics::kNonOverlappedSubsequence), 4);
+}
+
+TEST(Automaton, RepeatedSymbolsInEpisode) {
+  EXPECT_EQ(count("AA", "AA", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("AAAA", "AA", Semantics::kNonOverlappedSubsequence), 2);
+  // ABABA: A@0 pairs with A@2, the final A@4 is left unmatched.
+  EXPECT_EQ(count("ABABA", "AA", Semantics::kNonOverlappedSubsequence), 1);
+}
+
+TEST(Automaton, TripleEpisode) {
+  EXPECT_EQ(count("ABC", "ABC", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("AXBXC", "ABC", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("ABCABC", "ABC", Semantics::kNonOverlappedSubsequence), 2);
+  // AABBCC: the greedy automaton uses A@0,B@2,C@4; the interleaved second
+  // copy is consumed and only one occurrence is counted.
+  EXPECT_EQ(count("AABBCC", "ABC", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("CBA", "ABC", Semantics::kNonOverlappedSubsequence), 0);
+}
+
+TEST(Automaton, OrderMattersTemporalDataMining) {
+  // The paper stresses {peanut butter, bread} => jelly differs from
+  // {bread, peanut butter} => jelly: order is significant.
+  EXPECT_EQ(count("ABJ", "ABJ", Semantics::kNonOverlappedSubsequence), 1);
+  EXPECT_EQ(count("ABJ", "BAJ", Semantics::kNonOverlappedSubsequence), 0);
+}
+
+TEST(Automaton, ExpiryWindowRejectsSlowOccurrences) {
+  const ExpiryPolicy w3{3};
+  // Span (end - start) must be < 3.
+  EXPECT_EQ(count("AB", "AB", Semantics::kNonOverlappedSubsequence, w3), 1);
+  EXPECT_EQ(count("AXB", "AB", Semantics::kNonOverlappedSubsequence, w3), 1);
+  EXPECT_EQ(count("AXXB", "AB", Semantics::kNonOverlappedSubsequence, w3), 0);
+}
+
+TEST(Automaton, ExpiryAllowsRestartAfterAbandon) {
+  const ExpiryPolicy w2{2};
+  // First A expires, second A completes with B.
+  EXPECT_EQ(count("AXAB", "AB", Semantics::kNonOverlappedSubsequence, w2), 1);
+}
+
+TEST(Automaton, ExpiredSymbolCanStartFreshMatch) {
+  const ExpiryPolicy w2{2};
+  // At the expiry position the current symbol may begin a new match.
+  EXPECT_EQ(count("BXXAB", "AB", Semantics::kNonOverlappedSubsequence, w2), 1);
+  EXPECT_EQ(count("AXA", "AB", Semantics::kNonOverlappedSubsequence, w2), 0);
+}
+
+TEST(Automaton, StateRestoreRoundTrips) {
+  const Episode e = Episode::from_text(kAbc, "ABC");
+  EpisodeAutomaton a(e.symbols(), Semantics::kNonOverlappedSubsequence);
+  EXPECT_EQ(a.state(), 0);
+  a.step(0, 0);  // 'A'
+  EXPECT_EQ(a.state(), 1);
+  EXPECT_EQ(a.first_match_pos(), 0);
+  EpisodeAutomaton b(e.symbols(), Semantics::kNonOverlappedSubsequence);
+  b.restore(a.state(), a.first_match_pos());
+  b.step(1, 1);  // 'B'
+  b.step(2, 2);  // 'C'
+  EXPECT_EQ(b.state(), 0);  // reset after acceptance
+}
+
+TEST(Automaton, EmptyDatabaseCountsZero) {
+  EXPECT_EQ(count("", "AB", Semantics::kNonOverlappedSubsequence), 0);
+}
+
+TEST(Automaton, SemanticsToString) {
+  EXPECT_EQ(to_string(Semantics::kNonOverlappedSubsequence), "non-overlapped-subsequence");
+  EXPECT_EQ(to_string(Semantics::kContiguousRestart), "contiguous-restart");
+}
+
+}  // namespace
+}  // namespace gm::core

@@ -1,0 +1,98 @@
+// Unit tests for episodes, alphabets and the packed device layout.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/alphabet.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core {
+namespace {
+
+const Alphabet kAbc = Alphabet::english_uppercase();
+
+TEST(Alphabet, ParseAndFormatRoundTrip) {
+  const Sequence seq = kAbc.parse("HELLO");
+  EXPECT_EQ(seq.size(), 5u);
+  EXPECT_EQ(seq[0], 'H' - 'A');
+  EXPECT_EQ(kAbc.format(seq), "HELLO");
+}
+
+TEST(Alphabet, RejectsOutOfRangeCharacters) {
+  EXPECT_THROW((void)kAbc.parse("abc"), gm::PreconditionError);
+  EXPECT_THROW((void)Alphabet(5).parse("F"), gm::PreconditionError);
+}
+
+TEST(Alphabet, SymbolNames) {
+  EXPECT_EQ(kAbc.symbol_name(0), "A");
+  EXPECT_EQ(kAbc.symbol_name(25), "Z");
+  EXPECT_EQ(Alphabet(100).symbol_name(42), "s42");
+}
+
+TEST(Alphabet, SizeBounds) {
+  EXPECT_THROW(Alphabet(0), gm::PreconditionError);
+  EXPECT_THROW(Alphabet(256), gm::PreconditionError);
+  EXPECT_NO_THROW(Alphabet(255));
+}
+
+TEST(Episode, BasicProperties) {
+  const Episode e = Episode::from_text(kAbc, "ACB");
+  EXPECT_EQ(e.level(), 3);
+  EXPECT_EQ(e.at(0), 0);
+  EXPECT_EQ(e.at(1), 2);
+  EXPECT_EQ(e.at(2), 1);
+  EXPECT_EQ(e.to_string(kAbc), "<A,C,B>");
+  EXPECT_TRUE(e.has_distinct_symbols());
+  EXPECT_FALSE(Episode::from_text(kAbc, "ABA").has_distinct_symbols());
+}
+
+TEST(Episode, WithoutDropsOneElement) {
+  const Episode e = Episode::from_text(kAbc, "ABC");
+  EXPECT_EQ(e.without(0), Episode::from_text(kAbc, "BC"));
+  EXPECT_EQ(e.without(1), Episode::from_text(kAbc, "AC"));
+  EXPECT_EQ(e.without(2), Episode::from_text(kAbc, "AB"));
+  EXPECT_THROW((void)Episode::from_text(kAbc, "A").without(0), gm::PreconditionError);
+}
+
+TEST(Episode, ComparisonAndHash) {
+  const Episode a = Episode::from_text(kAbc, "AB");
+  const Episode b = Episode::from_text(kAbc, "AB");
+  const Episode c = Episode::from_text(kAbc, "BA");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(EpisodeHash{}(a), EpisodeHash{}(b));
+  EXPECT_LT(a, c);  // temporal order matters
+}
+
+TEST(Episode, EmptyEpisodeRejected) {
+  EXPECT_THROW(Episode(std::vector<Symbol>{}), gm::PreconditionError);
+}
+
+TEST(PackedEpisodes, LayoutAndPadding) {
+  const std::vector<Episode> eps = {Episode::from_text(kAbc, "AB"),
+                                    Episode::from_text(kAbc, "CD")};
+  const PackedEpisodes packed = pack_episodes(eps, 5);
+  EXPECT_EQ(packed.level, 2);
+  EXPECT_EQ(packed.episode_count, 2);
+  EXPECT_EQ(packed.padded_count, 5);
+  EXPECT_EQ(packed.symbols.size(), 10u);
+  EXPECT_EQ(packed.episode(0)[0], 0);
+  EXPECT_EQ(packed.episode(1)[1], 3);
+  EXPECT_EQ(packed.episode(4)[0], PackedEpisodes::kSentinel);
+  EXPECT_EQ(packed.episode(4)[1], PackedEpisodes::kSentinel);
+}
+
+TEST(PackedEpisodes, PaddingNeverBelowCount) {
+  const std::vector<Episode> eps = {Episode::from_text(kAbc, "A"),
+                                    Episode::from_text(kAbc, "B")};
+  const PackedEpisodes packed = pack_episodes(eps, 1);
+  EXPECT_EQ(packed.padded_count, 2);
+}
+
+TEST(PackedEpisodes, MixedLevelsRejected) {
+  const std::vector<Episode> eps = {Episode::from_text(kAbc, "A"),
+                                    Episode::from_text(kAbc, "AB")};
+  EXPECT_THROW((void)pack_episodes(eps), gm::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gm::core

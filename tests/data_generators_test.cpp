@@ -1,0 +1,105 @@
+// Workload generator tests: determinism, distributions, planted episodes.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+
+namespace gm::data {
+namespace {
+
+using core::Alphabet;
+
+TEST(UniformDatabase, DeterministicAndInRange) {
+  const Alphabet alphabet(26);
+  const auto a = uniform_database(alphabet, 10'000, 42);
+  const auto b = uniform_database(alphabet, 10'000, 42);
+  const auto c = uniform_database(alphabet, 10'000, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const auto s : a) EXPECT_LT(s, 26);
+}
+
+TEST(UniformDatabase, RoughlyUniform) {
+  const Alphabet alphabet(4);
+  const auto db = uniform_database(alphabet, 40'000, 7);
+  std::array<int, 4> histogram{};
+  for (const auto s : db) ++histogram[s];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, 10'000, 500);  // ~5 sigma
+  }
+}
+
+TEST(PaperDatabase, ExactPaperSize) {
+  const auto db = paper_database();
+  EXPECT_EQ(db.size(), 393'019u);
+  EXPECT_EQ(kPaperDatabaseSize, 393'019);
+  for (const auto s : db) EXPECT_LT(s, 26);
+}
+
+TEST(MarkovDatabase, SelfTransitionCreatesRuns) {
+  const Alphabet alphabet(8);
+  const auto bursty = markov_database(alphabet, 20'000, 0.9, 5);
+  const auto iid = markov_database(alphabet, 20'000, 0.0, 5);
+  auto repeats = [](const core::Sequence& seq) {
+    int r = 0;
+    for (std::size_t i = 1; i < seq.size(); ++i) r += seq[i] == seq[i - 1];
+    return r;
+  };
+  EXPECT_GT(repeats(bursty), 4 * repeats(iid));
+}
+
+TEST(MarkovDatabase, RejectsBadProbability) {
+  EXPECT_THROW((void)markov_database(Alphabet(4), 10, 1.0, 1), gm::PreconditionError);
+  EXPECT_THROW((void)markov_database(Alphabet(4), 10, -0.1, 1), gm::PreconditionError);
+}
+
+TEST(SpikeTrain, PlantedCopiesAreLowerBounds) {
+  const Alphabet alphabet(12);
+  const std::vector<core::Episode> planted = {core::Episode({1, 5, 9}),
+                                              core::Episode({3, 2, 0})};
+  SpikeTrainConfig config;
+  config.size = 20'000;
+  config.noise_rate = 0.8;
+  config.seed = 31;
+  const auto train = spike_train(alphabet, planted, config);
+
+  EXPECT_EQ(static_cast<std::int64_t>(train.events.size()), config.size);
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    EXPECT_GT(train.planted_copies[i], 0);
+    const auto counted = count_occurrences(planted[i], train.events,
+                                           core::Semantics::kNonOverlappedSubsequence);
+    EXPECT_GE(counted, train.planted_copies[i]);
+  }
+}
+
+TEST(SpikeTrain, PureNoiseHasNoGuaranteedCopies) {
+  const Alphabet alphabet(10);
+  SpikeTrainConfig config;
+  config.size = 1000;
+  config.noise_rate = 1.0;
+  const auto train = spike_train(alphabet, {core::Episode({0, 1})}, config);
+  EXPECT_EQ(train.planted_copies[0], 0);
+}
+
+TEST(SpikeTrain, JitterStaysWithinConfiguredBound) {
+  // With zero jitter and zero noise, the stream is exact concatenated copies.
+  const Alphabet alphabet(6);
+  SpikeTrainConfig config;
+  config.size = 300;
+  config.noise_rate = 0.0;
+  config.max_jitter = 0;
+  const core::Episode episode({4, 2, 5});
+  const auto train = spike_train(alphabet, {episode}, config);
+  EXPECT_EQ(train.planted_copies[0], 100);
+  for (std::size_t i = 0; i + 2 < train.events.size(); i += 3) {
+    EXPECT_EQ(train.events[i], 4);
+    EXPECT_EQ(train.events[i + 1], 2);
+    EXPECT_EQ(train.events[i + 2], 5);
+  }
+}
+
+}  // namespace
+}  // namespace gm::data

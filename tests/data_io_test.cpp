@@ -1,0 +1,76 @@
+// Dataset I/O round-trip and format-validation tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "data/dataset_io.hpp"
+#include "data/generators.hpp"
+
+namespace gm::data {
+namespace {
+
+TEST(DatasetIo, LetterRoundTrip) {
+  Dataset original{core::Alphabet(26), core::Alphabet(26).parse("HELLOWORLD")};
+  std::stringstream buffer;
+  write_dataset(buffer, original);
+  const Dataset loaded = read_dataset(buffer);
+  EXPECT_EQ(loaded.alphabet.size(), 26);
+  EXPECT_EQ(loaded.events, original.events);
+}
+
+TEST(DatasetIo, NumericRoundTripForLargeAlphabets) {
+  Dataset original{core::Alphabet(100), {0, 42, 99, 7, 42}};
+  std::stringstream buffer;
+  write_dataset(buffer, original);
+  const Dataset loaded = read_dataset(buffer);
+  EXPECT_EQ(loaded.alphabet.size(), 100);
+  EXPECT_EQ(loaded.events, original.events);
+}
+
+TEST(DatasetIo, LargeGeneratedRoundTrip) {
+  Dataset original{core::Alphabet(26),
+                   uniform_database(core::Alphabet(26), 10'000, 4)};
+  std::stringstream buffer;
+  write_dataset(buffer, original);
+  EXPECT_EQ(read_dataset(buffer).events, original.events);
+}
+
+TEST(DatasetIo, CommentsAndWhitespaceIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "alphabet 4\n"
+      "# events follow\n"
+      "AB BA\n"
+      "  CD\n");
+  const Dataset dataset = read_dataset(in);
+  EXPECT_EQ(dataset.events, (core::Sequence{0, 1, 1, 0, 2, 3}));
+}
+
+TEST(DatasetIo, MissingHeaderRejected) {
+  std::stringstream in("ABC\n");
+  EXPECT_THROW((void)read_dataset(in), gm::PreconditionError);
+}
+
+TEST(DatasetIo, OutOfAlphabetEventRejected) {
+  std::stringstream letters("alphabet 3\nABD\n");
+  EXPECT_THROW((void)read_dataset(letters), gm::PreconditionError);
+  std::stringstream ids("alphabet 30\n1 2 30\n");
+  EXPECT_THROW((void)read_dataset(ids), gm::PreconditionError);
+}
+
+TEST(DatasetIo, MissingFileRejected) {
+  EXPECT_THROW((void)load_dataset("/nonexistent/path/data.txt"), gm::PreconditionError);
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const std::string path = "/tmp/gm_dataset_io_test.txt";
+  Dataset original{core::Alphabet(26), core::Alphabet(26).parse("GPUMINING")};
+  save_dataset(path, original);
+  const Dataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.events, original.events);
+}
+
+}  // namespace
+}  // namespace gm::data

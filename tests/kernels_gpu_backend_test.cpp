@@ -1,0 +1,128 @@
+// Integration tests: the simulated-GPU counting backend inside the miner,
+// and the multi-die prediction extension.
+#include <gtest/gtest.h>
+
+#include "core/cpu_backend.hpp"
+#include "core/miner.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "kernels/gpu_backend.hpp"
+#include "kernels/multi_gpu.hpp"
+
+namespace gm::kernels {
+namespace {
+
+using core::Alphabet;
+
+gpusim::EngineOptions fast_engine() {
+  gpusim::EngineOptions opts;
+  opts.host_threads = 2;
+  opts.simulate_texture_cache = false;
+  return opts;
+}
+
+TEST(SimGpuBackend, MinerMatchesCpuAcrossAlgorithms) {
+  const Alphabet alphabet(6);
+  const auto db = data::uniform_database(alphabet, 2000, 21);
+
+  core::MinerConfig config;
+  config.support_threshold = 0.001;
+  config.max_level = 3;
+
+  core::SerialCpuBackend cpu;
+  const auto reference = core::mine_frequent_episodes(db, alphabet, cpu, config);
+
+  for (const Algorithm algorithm : all_algorithms()) {
+    MiningLaunchParams params;
+    params.algorithm = algorithm;
+    params.threads_per_block = 64;
+    params.buffer_bytes = 512;
+    SimGpuBackend gpu(gpusim::geforce_gtx_280(), params, {}, fast_engine());
+
+    const auto mined = core::mine_frequent_episodes(db, alphabet, gpu, config);
+    ASSERT_EQ(mined.total_frequent(), reference.total_frequent()) << to_string(algorithm);
+    for (std::size_t i = 0; i < mined.frequent.size(); ++i) {
+      EXPECT_EQ(mined.frequent[i].episode, reference.frequent[i].episode);
+      EXPECT_EQ(mined.frequent[i].count, reference.frequent[i].count);
+    }
+    for (const auto& level : mined.levels) {
+      EXPECT_GT(level.simulated_kernel_ms, 0.0);
+    }
+  }
+}
+
+TEST(SimGpuBackend, NameDescribesConfiguration) {
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kBlockTexture;
+  params.threads_per_block = 96;
+  SimGpuBackend gpu(gpusim::geforce_8800_gts_512(), params, {}, fast_engine());
+  const auto name = gpu.name();
+  EXPECT_NE(name.find("algo3"), std::string::npos);
+  EXPECT_NE(name.find("t96"), std::string::npos);
+  EXPECT_NE(name.find("8800"), std::string::npos);
+}
+
+TEST(SimGpuBackend, RequestSemanticsOverrideLaunchDefaults) {
+  const Alphabet alphabet(4);
+  const auto db = data::uniform_database(alphabet, 1500, 5);
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kThreadTexture;
+  params.threads_per_block = 32;
+  SimGpuBackend gpu(gpusim::geforce_gtx_280(), params, {}, fast_engine());
+
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = core::all_distinct_episodes(alphabet, 2);
+  request.semantics = core::Semantics::kContiguousRestart;
+  const auto result = gpu.count(request);
+  EXPECT_EQ(result.counts,
+            core::count_all(request.episodes, db, core::Semantics::kContiguousRestart));
+}
+
+TEST(MultiGpu, TwoDiesNearlyHalveLargeProblems) {
+  WorkloadSpec spec;
+  spec.db_size = data::kPaperDatabaseSize;
+  spec.episode_count = 15'600;
+  spec.level = 3;
+  spec.params.algorithm = Algorithm::kThreadTexture;
+  spec.params.threads_per_block = 128;
+
+  const auto gx2 = gpusim::geforce_9800_gx2();
+  const auto one = predict_multi_gpu(gx2, 1, spec);
+  const auto two = predict_multi_gpu(gx2, 2, spec);
+  EXPECT_EQ(two.episodes_per_die.size(), 2u);
+  EXPECT_EQ(two.episodes_per_die[0] + two.episodes_per_die[1], 15'600);
+  EXPECT_GT(one.total_ms / two.total_ms, 1.5);
+  EXPECT_LE(one.total_ms / two.total_ms, 2.05);
+}
+
+TEST(MultiGpu, SmallProblemsDoNotScale) {
+  // 26 episodes at L1 underfill even one die: a second die barely helps
+  // (there is no work to split once per-die launches dominate).
+  WorkloadSpec spec;
+  spec.db_size = data::kPaperDatabaseSize;
+  spec.episode_count = 26;
+  spec.level = 1;
+  spec.params.algorithm = Algorithm::kThreadTexture;
+  spec.params.threads_per_block = 32;
+
+  const auto gx2 = gpusim::geforce_9800_gx2();
+  const auto one = predict_multi_gpu(gx2, 1, spec);
+  const auto two = predict_multi_gpu(gx2, 2, spec);
+  EXPECT_LT(one.total_ms / two.total_ms, 1.2);
+}
+
+TEST(MultiGpu, MoreDiesThanEpisodes) {
+  WorkloadSpec spec;
+  spec.db_size = 10'000;
+  spec.episode_count = 2;
+  spec.level = 1;
+  spec.params.algorithm = Algorithm::kThreadTexture;
+  spec.params.threads_per_block = 32;
+  const auto p = predict_multi_gpu(gpusim::geforce_gtx_280(), 4, spec);
+  EXPECT_EQ(p.episodes_per_die, (std::vector<std::int64_t>{1, 1, 0, 0}));
+  EXPECT_GT(p.total_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace gm::kernels

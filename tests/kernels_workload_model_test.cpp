@@ -1,0 +1,131 @@
+// The analytic workload models must reproduce the functional engine's
+// measured profiles *exactly* (field for field) — this is what licenses the
+// benchmark harnesses to sweep the paper's full problem sizes analytically.
+#include <gtest/gtest.h>
+
+#include "core/candidate_gen.hpp"
+#include "data/generators.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "kernels/workload_model.hpp"
+
+namespace gm::kernels {
+namespace {
+
+using core::Alphabet;
+
+struct Case {
+  Algorithm algorithm;
+  int level;
+  int threads_per_block;
+  std::int64_t db_size;
+  int buffer_bytes;
+  int expiry_window;  // 0 = disabled
+
+  friend std::ostream& operator<<(std::ostream& os, const Case& c) {
+    return os << to_string(c.algorithm) << "/L" << c.level << "/t" << c.threads_per_block
+              << "/n" << c.db_size << "/B" << c.buffer_bytes << "/W" << c.expiry_window;
+  }
+};
+
+class WorkloadModelExact : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadModelExact, ProfileEqualsEngineMeasurement) {
+  const Case c = GetParam();
+  const Alphabet alphabet(5);
+  const auto db = data::uniform_database(alphabet, c.db_size, 1234);
+  const auto episodes = core::all_distinct_episodes(alphabet, c.level);
+
+  MiningLaunchParams params;
+  params.algorithm = c.algorithm;
+  params.threads_per_block = c.threads_per_block;
+  params.buffer_bytes = c.buffer_bytes;
+  params.expiry = core::ExpiryPolicy{c.expiry_window};
+
+  gpusim::EngineOptions opts;
+  opts.host_threads = 2;
+  opts.simulate_texture_cache = false;
+  const gpusim::Engine engine(gpusim::geforce_8800_gts_512(), opts);
+
+  const MiningRun run = run_mining_kernel(engine, db, episodes, params);
+
+  WorkloadSpec spec;
+  spec.db_size = c.db_size;
+  spec.episode_count = static_cast<std::int64_t>(episodes.size());
+  spec.level = c.level;
+  spec.params = params;
+  const gpusim::KernelProfile modeled = model_profile(engine.spec(), spec);
+
+  // Launch geometry must agree.
+  const gpusim::LaunchConfig launch = model_launch_config(spec);
+  EXPECT_EQ(launch.grid, run.launch.profile.total_blocks() > 0
+                             ? gpusim::Dim3(static_cast<int>(run.launch.profile.total_blocks()))
+                             : launch.grid);
+  ASSERT_EQ(modeled.total_blocks(), run.launch.profile.total_blocks());
+
+  // Every block's profile must match exactly (excluding tex_miss_bytes,
+  // which the engine measures with the cache simulator and the model leaves
+  // to the declared access pattern).
+  for (std::int64_t b = 0; b < modeled.total_blocks(); ++b) {
+    gpusim::BlockProfile expected = run.launch.profile.block_at(b);
+    gpusim::BlockProfile actual = modeled.block_at(b);
+    expected.tex_miss_bytes = 0.0;
+    actual.tex_miss_bytes = 0.0;
+    ASSERT_EQ(actual.warps, expected.warps) << c << " block " << b;
+    ASSERT_EQ(actual.syncs, expected.syncs) << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.warp_instructions, expected.warp_instructions)
+        << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.warp_tex_ops, expected.warp_tex_ops) << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.warp_shared_ops, expected.warp_shared_ops)
+        << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.warp_global_ops, expected.warp_global_ops)
+        << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.lane_instructions, expected.lane_instructions)
+        << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.tex_requests, expected.tex_requests) << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.shared_requests, expected.shared_requests)
+        << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.global_requests, expected.global_requests)
+        << c << " block " << b;
+    ASSERT_DOUBLE_EQ(actual.global_bytes, expected.global_bytes) << c << " block " << b;
+    ASSERT_EQ(actual.texture, expected.texture) << c << " block " << b;
+  }
+}
+
+std::vector<Case> exactness_cases() {
+  std::vector<Case> cases;
+  // Adversarial sizes: primes and off-by-one around buffer/warp boundaries.
+  for (const Algorithm a : all_algorithms()) {
+    for (const int level : {1, 3}) {
+      cases.push_back({a, level, 33, 997, 128, 0});
+      cases.push_back({a, level, 64, 1024, 256, 0});
+      cases.push_back({a, level, 48, 769, 130, 0});
+      cases.push_back({a, level, 32, 911, 128, 7});  // expiry mode
+    }
+    cases.push_back({a, 2, 16, 501, 64, 0});
+    cases.push_back({a, 2, 128, 2048, 512, 13});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WorkloadModelExact, ::testing::ValuesIn(exactness_cases()));
+
+TEST(WorkloadModel, FullPaperScaleProfilesAreCheap) {
+  // The analytic path must handle the real 393,019-symbol, 15,600-episode
+  // configuration instantly and produce sane totals.
+  WorkloadSpec spec;
+  spec.db_size = data::kPaperDatabaseSize;
+  spec.episode_count = 15'600;
+  spec.level = 3;
+  spec.params.algorithm = Algorithm::kBlockTexture;
+  spec.params.threads_per_block = 512;
+
+  const auto device = gpusim::geforce_gtx_280();
+  const auto profile = model_profile(device, spec);
+  EXPECT_EQ(profile.total_blocks(), 15'600);
+  const auto totals = gpusim::aggregate(profile);
+  // Every block fetches the whole database once.
+  EXPECT_NEAR(totals.tex_requests, 15'600.0 * data::kPaperDatabaseSize, 1.0);
+}
+
+}  // namespace
+}  // namespace gm::kernels

@@ -1,0 +1,113 @@
+// MapReduce engine and episode-counting job tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/candidate_gen.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "mapreduce/episode_job.hpp"
+#include "mapreduce/mapreduce.hpp"
+
+namespace gm::mapreduce {
+namespace {
+
+using core::Alphabet;
+using core::Semantics;
+
+TEST(MapReduce, WordCount) {
+  const std::vector<std::string> docs = {"a b a", "b c", "a"};
+  Job<std::string, char, int> job;
+  job.threads = 2;
+  job.map = [](const std::string& doc, Emitter<char, int>& emitter) {
+    for (char c : doc) {
+      if (c != ' ') emitter.emit(c, 1);
+    }
+  };
+  job.reduce = [](const char&, const std::vector<int>& values) {
+    int sum = 0;
+    for (int v : values) sum += v;
+    return sum;
+  };
+  const auto result = run(job, docs);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], (std::pair<char, int>{'a', 3}));
+  EXPECT_EQ(result[1], (std::pair<char, int>{'b', 2}));
+  EXPECT_EQ(result[2], (std::pair<char, int>{'c', 1}));
+}
+
+TEST(MapReduce, EmptyInputYieldsEmptyOutput) {
+  Job<int, int, int> job;
+  job.map = [](const int& v, Emitter<int, int>& e) { e.emit(v, 1); };
+  job.reduce = [](const int&, const std::vector<int>& vs) { return static_cast<int>(vs.size()); };
+  EXPECT_TRUE(run(job, {}).empty());
+}
+
+TEST(MapReduce, MissingFunctionsRejected) {
+  Job<int, int, int> job;
+  EXPECT_THROW((void)run(job, {1}), gm::PreconditionError);
+}
+
+TEST(MapReduce, DeterministicAcrossThreadCounts) {
+  Job<int, int, long> job;
+  job.map = [](const int& v, Emitter<int, long>& e) { e.emit(v % 7, v); };
+  job.reduce = [](const int&, const std::vector<long>& vs) {
+    long sum = 0;
+    for (long v : vs) sum += v;
+    return sum;
+  };
+  std::vector<int> inputs;
+  for (int i = 0; i < 500; ++i) inputs.push_back(i);
+
+  job.threads = 1;
+  const auto one = run(job, inputs);
+  job.threads = 4;
+  const auto four = run(job, inputs);
+  EXPECT_EQ(one, four);
+}
+
+class EpisodeJobProperty : public ::testing::TestWithParam<int /*chunks*/> {};
+
+TEST_P(EpisodeJobProperty, BothGranularitiesMatchTheOracle) {
+  const int chunks = GetParam();
+  const Alphabet alphabet(5);
+  const auto db = data::uniform_database(alphabet, 3001, 77);
+
+  for (int level = 1; level <= 3; ++level) {
+    const auto episodes = core::all_distinct_episodes(alphabet, level);
+    const auto expected = core::count_all(episodes, db, Semantics::kNonOverlappedSubsequence);
+
+    EpisodeCountOptions options;
+    options.threads = 2;
+    options.chunks = chunks;
+    EXPECT_EQ(count_episodes_thread_level(db, episodes, options), expected)
+        << "thread-level, L" << level;
+    EXPECT_EQ(count_episodes_block_level(db, episodes, options), expected)
+        << "block-level, L" << level << " chunks " << chunks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EpisodeJobProperty, ::testing::Values(1, 4, 13, 64));
+
+TEST(EpisodeJob, BlockLevelExpiryMatchesChunkedReference) {
+  const Alphabet alphabet(4);
+  const auto db = data::uniform_database(alphabet, 2000, 13);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+  const core::ExpiryPolicy expiry{6};
+
+  EpisodeCountOptions options;
+  options.chunks = 8;
+  options.expiry = expiry;
+  const auto counts = count_episodes_block_level(db, episodes, options);
+
+  const auto bounds = core::chunk_boundaries(static_cast<std::int64_t>(db.size()), 8);
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const auto expected = core::count_with_boundaries(
+        episodes[i], db, bounds, Semantics::kNonOverlappedSubsequence, expiry,
+        core::SpanningFix::kOverlapRescan);
+    EXPECT_EQ(counts[i], expected) << episodes[i].to_string(alphabet);
+  }
+}
+
+}  // namespace
+}  // namespace gm::mapreduce

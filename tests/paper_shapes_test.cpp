@@ -1,0 +1,240 @@
+// Figure-shape regression tests: the qualitative properties of every paper
+// figure (orderings, trends, crossovers, plateaus) asserted against the
+// analytic model, so any cost-model change that would break a reproduced
+// shape fails CI rather than silently corrupting EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_support/paper_setup.hpp"
+#include "bench_support/report.hpp"
+#include "data/generators.hpp"
+#include "kernels/workload_model.hpp"
+
+namespace gm::bench {
+namespace {
+
+using kernels::Algorithm;
+
+std::vector<double> sweep_series(const gpusim::DeviceSpec& device, Algorithm algorithm,
+                                 int level) {
+  std::vector<double> values;
+  for (const int tpb : paper_thread_sweep()) {
+    values.push_back(paper_time_ms(device, algorithm, level, tpb));
+  }
+  return values;
+}
+
+double spread(const std::vector<double>& v) {
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  return *hi / *lo;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — level impact on the GTX 280.
+// ---------------------------------------------------------------------------
+
+TEST(Fig6, ThreadLevelRatiosStaySmall) {
+  // 6(a)/6(b): 600x the episodes costs single-digit time factors.  The
+  // paper's panels run to ~2.4 (Algo1) and ~11 (Algo2).
+  const auto gtx = gpusim::geforce_gtx_280();
+  for (const Algorithm a : {Algorithm::kThreadTexture, Algorithm::kThreadBuffered}) {
+    const double bound = a == Algorithm::kThreadTexture ? 4.0 : 12.0;
+    const auto l1 = sweep_series(gtx, a, 1);
+    const auto l3 = sweep_series(gtx, a, 3);
+    for (std::size_t i = 4; i < l1.size(); ++i) {  // past the tiny-tpb regime
+      EXPECT_LT(l3[i] / l1[i], bound) << to_string(a) << " point " << i;
+    }
+  }
+}
+
+TEST(Fig6, Algo2RelativeRatioFallsWithThreads) {
+  // 6(b): the L3/L1 ratio decreases monotonically in trend (first vs last).
+  const auto gtx = gpusim::geforce_gtx_280();
+  const auto l1 = sweep_series(gtx, Algorithm::kThreadBuffered, 1);
+  const auto l3 = sweep_series(gtx, Algorithm::kThreadBuffered, 3);
+  EXPECT_GT(l3.front() / l1.front(), 4.0 * (l3.back() / l1.back()));
+}
+
+TEST(Fig6, BlockLevelRatiosScaleWithEpisodeCount) {
+  // 6(c)/6(d): block-level pays per episode; L3/L1 lands in the hundreds.
+  const auto gtx = gpusim::geforce_gtx_280();
+  for (const Algorithm a : {Algorithm::kBlockTexture, Algorithm::kBlockBuffered}) {
+    const double r = paper_time_ms(gtx, a, 3, 256) / paper_time_ms(gtx, a, 1, 256);
+    EXPECT_GT(r, 100.0) << to_string(a);
+    EXPECT_LT(r, 5000.0) << to_string(a);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — algorithm impact on the GTX 280.
+// ---------------------------------------------------------------------------
+
+TEST(Fig7a, Level1BlockLevelWinsByOrdersOfMagnitude) {
+  const auto gtx = gpusim::geforce_gtx_280();
+  const auto a1 = sweep_series(gtx, Algorithm::kThreadTexture, 1);
+  const auto a2 = sweep_series(gtx, Algorithm::kThreadBuffered, 1);
+  const double thread_best = std::min(*std::min_element(a1.begin(), a1.end()),
+                                      *std::min_element(a2.begin(), a2.end()));
+  const auto a4 = sweep_series(gtx, Algorithm::kBlockBuffered, 1);
+  const double a4_best = *std::min_element(a4.begin(), a4.end());
+  EXPECT_GT(thread_best / a4_best, 10.0);
+  EXPECT_LT(a4_best, 1.5) << "paper C4: Algorithm 4 at L1 is ~sub-millisecond";
+}
+
+TEST(Fig7b, Level2CrossoverAlgo4UndercutsAlgo3AtHighThreads) {
+  const auto gtx = gpusim::geforce_gtx_280();
+  const auto a3 = sweep_series(gtx, Algorithm::kBlockTexture, 2);
+  const auto a4 = sweep_series(gtx, Algorithm::kBlockBuffered, 2);
+  // Algo4 is worse at the small-tpb end and better somewhere past it.
+  EXPECT_GT(a4.front(), a3.front());
+  bool crossover = false;
+  for (std::size_t i = 0; i < a3.size(); ++i) crossover |= a4[i] < a3[i];
+  EXPECT_TRUE(crossover);
+}
+
+TEST(Fig7c, Level3ThreadLevelBeatsBlockLevelEverywhere) {
+  const auto gtx = gpusim::geforce_gtx_280();
+  const auto a2 = sweep_series(gtx, Algorithm::kThreadBuffered, 3);
+  const auto a3 = sweep_series(gtx, Algorithm::kBlockTexture, 3);
+  const auto a4 = sweep_series(gtx, Algorithm::kBlockBuffered, 3);
+  for (std::size_t i = 0; i < a2.size(); ++i) {
+    EXPECT_LT(a2[i], a3[i]) << "point " << i;
+    EXPECT_LT(a2[i], a4[i]) << "point " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — card impact.
+// ---------------------------------------------------------------------------
+
+TEST(Fig8a, ClockOrderingHoldsAtEveryThreadCount) {
+  const auto gts = sweep_series(gpusim::geforce_8800_gts_512(), Algorithm::kThreadTexture, 2);
+  const auto gx2 = sweep_series(gpusim::geforce_9800_gx2(), Algorithm::kThreadTexture, 2);
+  const auto gtx = sweep_series(gpusim::geforce_gtx_280(), Algorithm::kThreadTexture, 2);
+  for (std::size_t i = 0; i < gts.size(); ++i) {
+    EXPECT_LT(gts[i], gx2[i]) << "point " << i;
+    EXPECT_LT(gx2[i], gtx[i]) << "point " << i;
+  }
+}
+
+TEST(Fig8a, ThreadLevelIsFlatThroughMidRange) {
+  // The paper's L2 bands are flat; ours must vary < 10% from 16..256 tpb.
+  const auto gts = sweep_series(gpusim::geforce_8800_gts_512(), Algorithm::kThreadTexture, 2);
+  const std::vector<double> mid(gts.begin(), gts.begin() + 9);  // 16..256
+  EXPECT_LT(spread(mid), 1.10);
+}
+
+TEST(Fig8b, BandwidthOrderingHoldsOnThePlateau) {
+  // Past the latency-bound start, GTX280 < GX2 <= 8800 (141.7 / 64 / 57.6 GB/s).
+  const auto gts = sweep_series(gpusim::geforce_8800_gts_512(), Algorithm::kBlockTexture, 1);
+  const auto gx2 = sweep_series(gpusim::geforce_9800_gx2(), Algorithm::kBlockTexture, 1);
+  const auto gtx = sweep_series(gpusim::geforce_gtx_280(), Algorithm::kBlockTexture, 1);
+  for (std::size_t i = 4; i < gts.size(); ++i) {  // plateau region
+    EXPECT_LT(gtx[i], gx2[i]) << "point " << i;
+    EXPECT_LE(gx2[i], gts[i] * 1.02) << "point " << i;
+  }
+}
+
+TEST(Fig8b, LatencyBoundStartFallsToThePlateau) {
+  // All cards start high at 16tpb and drop by >25% into the plateau.
+  for (const auto& card : gpusim::paper_testbed()) {
+    const auto series = sweep_series(card, Algorithm::kBlockTexture, 1);
+    EXPECT_GT(series.front(), 1.25 * series[4]) << card.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — appendix-wide invariants.
+// ---------------------------------------------------------------------------
+
+TEST(Fig9, EveryPanelIsFiniteAndPositive) {
+  for (const auto& card : gpusim::paper_testbed()) {
+    for (const Algorithm a : kernels::all_algorithms()) {
+      for (int level = 1; level <= 3; ++level) {
+        for (const double v : sweep_series(card, a, level)) {
+          ASSERT_GT(v, 0.0);
+          ASSERT_LT(v, 60'000.0) << "no panel exceeds a minute";
+        }
+      }
+    }
+  }
+}
+
+TEST(Fig9i, Algo3Level3IsBandwidthBoundAndTrafficDominated) {
+  // Traffic is threads-independent (one line fetch per symbol per lane),
+  // so the curve is flat within 2x while the cards split by bandwidth.
+  const auto gts = sweep_series(gpusim::geforce_8800_gts_512(), Algorithm::kBlockTexture, 3);
+  const auto gtx = sweep_series(gpusim::geforce_gtx_280(), Algorithm::kBlockTexture, 3);
+  EXPECT_LT(spread(gts), 2.0);
+  for (std::size_t i = 0; i < gts.size(); ++i) EXPECT_GT(gts[i], 1.5 * gtx[i]);
+}
+
+TEST(Fig9l, Algo4Level3RisesWithThreads) {
+  const auto gtx = sweep_series(gpusim::geforce_gtx_280(), Algorithm::kBlockBuffered, 3);
+  EXPECT_GT(gtx.back(), gtx[2]);  // 512tpb slower than 64tpb
+}
+
+// ---------------------------------------------------------------------------
+// Conclusion-paragraph claims.
+// ---------------------------------------------------------------------------
+
+TEST(Conclusions, BestAlgorithmFlipsWithProblemSize) {
+  // "a MapReduce-based implementation must dynamically adapt the type and
+  // level of parallelism": the winning algorithm differs between L1 and L3.
+  const auto gtx = gpusim::geforce_gtx_280();
+  auto winner = [&](int level) {
+    Algorithm best = Algorithm::kThreadTexture;
+    double best_ms = 0.0;
+    bool first = true;
+    for (const Algorithm a : kernels::all_algorithms()) {
+      const auto series = sweep_series(gtx, a, level);
+      const double m = *std::min_element(series.begin(), series.end());
+      if (first || m < best_ms) {
+        best_ms = m;
+        best = a;
+        first = false;
+      }
+    }
+    return best;
+  };
+  const Algorithm l1 = winner(1);
+  const Algorithm l3 = winner(3);
+  EXPECT_TRUE(is_block_level(l1));
+  EXPECT_FALSE(is_block_level(l3));
+}
+
+TEST(Conclusions, OldestCardFastestForSmallProblems) {
+  // "the oldest card we tested was consistently the fastest for small
+  // problem sizes" — thread-level kernels at L1/L2.
+  for (int level = 1; level <= 2; ++level) {
+    for (const Algorithm a : {Algorithm::kThreadTexture, Algorithm::kThreadBuffered}) {
+      const auto gts = sweep_series(gpusim::geforce_8800_gts_512(), a, level);
+      const auto gtx = sweep_series(gpusim::geforce_gtx_280(), a, level);
+      int wins = 0;
+      for (std::size_t i = 0; i < gts.size(); ++i) wins += gts[i] < gtx[i];
+      // "consistently": all but at most two sweep points (bandwidth-bound
+      // corners can flip to the GTX 280).
+      EXPECT_GE(wins, static_cast<int>(gts.size()) - 2) << to_string(a) << " L" << level;
+    }
+  }
+}
+
+TEST(Conclusions, NewestCardFastestForLargeProblems) {
+  // "the best execution time for large problem sizes always occurs on the
+  // newest generation": best-over-everything at L3.
+  auto best_on = [&](const gpusim::DeviceSpec& card) {
+    double best = 1e300;
+    for (const Algorithm a : kernels::all_algorithms()) {
+      const auto series = sweep_series(card, a, 3);
+      best = std::min(best, *std::min_element(series.begin(), series.end()));
+    }
+    return best;
+  };
+  const double gtx = best_on(gpusim::geforce_gtx_280());
+  EXPECT_LT(gtx, best_on(gpusim::geforce_8800_gts_512()));
+  EXPECT_LT(gtx, best_on(gpusim::geforce_9800_gx2()));
+}
+
+}  // namespace
+}  // namespace gm::bench

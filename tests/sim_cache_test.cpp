@@ -1,0 +1,75 @@
+// Texture-cache simulator tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/cache.hpp"
+
+namespace gpusim {
+namespace {
+
+TEST(CacheSim, SpatialLocalityWithinLine) {
+  CacheSim cache(1024, 32, 4);
+  EXPECT_FALSE(cache.access(0));  // compulsory miss
+  for (int b = 1; b < 32; ++b) EXPECT_TRUE(cache.access(static_cast<std::uint64_t>(b)));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 31u);
+}
+
+TEST(CacheSim, StreamingMissesOncePerLine) {
+  CacheSim cache(8192, 32, 4);
+  for (std::uint64_t a = 0; a < 4096; ++a) cache.access(a);
+  EXPECT_EQ(cache.stats().misses, 4096u / 32u);
+  EXPECT_NEAR(cache.stats().hit_rate(), 31.0 / 32.0, 1e-9);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // Direct-mapped-by-set behaviour: addresses that alias the same set evict
+  // each other once associativity is exceeded.
+  CacheSim cache(256, 32, 2);  // 4 sets, 2 ways
+  const std::uint64_t set_stride = 32 * 4;
+  EXPECT_FALSE(cache.access(0 * set_stride));
+  EXPECT_FALSE(cache.access(1 * set_stride));
+  EXPECT_TRUE(cache.access(0 * set_stride));   // still resident
+  EXPECT_FALSE(cache.access(2 * set_stride));  // evicts LRU (addr stride 1)
+  EXPECT_TRUE(cache.access(0 * set_stride));
+  EXPECT_FALSE(cache.access(1 * set_stride));  // was evicted
+}
+
+TEST(CacheSim, WorkingSetLargerThanCacheThrashes) {
+  CacheSim cache(1024, 32, 4);  // 32 lines
+  // 64 interleaved streams, each revisited after all others: full thrash.
+  for (int round = 0; round < 4; ++round) {
+    for (int s = 0; s < 64; ++s) cache.access(static_cast<std::uint64_t>(s) * 4096);
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CacheSim, AccessRangeCountsLineCrossings) {
+  CacheSim cache(1024, 32, 4);
+  EXPECT_EQ(cache.access_range(30, 4), 2);  // straddles two lines
+  EXPECT_EQ(cache.access_range(30, 4), 0);
+  EXPECT_EQ(cache.access_range(64, 1), 1);
+}
+
+TEST(CacheSim, ResetClearsState) {
+  CacheSim cache(1024, 32, 4);
+  cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(CacheSim, MissBytes) {
+  CacheSim cache(1024, 32, 4);
+  for (std::uint64_t a = 0; a < 128; a += 32) cache.access(a);
+  EXPECT_EQ(cache.miss_bytes(), 4u * 32u);
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(CacheSim(100, 32, 4), gm::PreconditionError);   // size < line*assoc... non-pow2 sets
+  EXPECT_THROW(CacheSim(1024, 33, 4), gm::PreconditionError);  // non-pow2 line
+  EXPECT_THROW(CacheSim(64, 32, 4), gm::PreconditionError);    // too small
+}
+
+}  // namespace
+}  // namespace gpusim

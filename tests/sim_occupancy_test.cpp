@@ -1,0 +1,138 @@
+// Device-spec and occupancy-calculator tests, pinned to the paper's Table 2
+// values and the occupancy arithmetic its characterizations rely on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/occupancy.hpp"
+
+namespace gpusim {
+namespace {
+
+TEST(DeviceSpec, PaperTable2Values) {
+  const DeviceSpec gts = geforce_8800_gts_512();
+  EXPECT_EQ(gts.multiprocessors, 16);
+  EXPECT_EQ(gts.total_cores(), 128);
+  EXPECT_DOUBLE_EQ(gts.core_clock_mhz, 1625.0);
+  EXPECT_DOUBLE_EQ(gts.mem_bandwidth_gbps, 57.6);
+  EXPECT_EQ(gts.registers_per_sm, 8192);
+  EXPECT_EQ(gts.max_threads_per_sm, 768);
+  EXPECT_EQ(gts.max_warps_per_sm, 24);
+  EXPECT_EQ(gts.compute_capability, (ComputeCapability{1, 1}));
+
+  const DeviceSpec gx2 = geforce_9800_gx2();
+  EXPECT_DOUBLE_EQ(gx2.core_clock_mhz, 1500.0);
+  EXPECT_DOUBLE_EQ(gx2.mem_bandwidth_gbps, 64.0);
+
+  const DeviceSpec gtx = geforce_gtx_280();
+  EXPECT_EQ(gtx.multiprocessors, 30);
+  EXPECT_EQ(gtx.total_cores(), 240);
+  EXPECT_DOUBLE_EQ(gtx.mem_bandwidth_gbps, 141.7);
+  EXPECT_EQ(gtx.registers_per_sm, 16384);
+  EXPECT_EQ(gtx.max_threads_per_sm, 1024);
+  EXPECT_EQ(gtx.max_warps_per_sm, 32);
+  EXPECT_TRUE(gtx.compute_capability.at_least({1, 3}));
+}
+
+TEST(DeviceSpec, FeatureGates) {
+  EXPECT_TRUE(geforce_8800_gts_512().supports_atomics());
+  EXPECT_FALSE(geforce_8800_gts_512().supports_double_precision());
+  EXPECT_TRUE(geforce_gtx_280().supports_double_precision());
+}
+
+TEST(DeviceSpec, LookupByName) {
+  EXPECT_EQ(device_by_name("gtx280").multiprocessors, 30);
+  EXPECT_EQ(device_by_name("8800").multiprocessors, 16);
+  EXPECT_DOUBLE_EQ(device_by_name("GX2").core_clock_mhz, 1500.0);
+  EXPECT_THROW((void)device_by_name("voodoo2"), gm::PreconditionError);
+}
+
+TEST(DeviceSpec, BandwidthInBytesPerCycle) {
+  const DeviceSpec gtx = geforce_gtx_280();
+  EXPECT_NEAR(gtx.bytes_per_cycle(), 141.7e9 / 1.296e9, 1e-9);
+}
+
+LaunchConfig cfg(int blocks, int tpb, int shared = 0, int regs = 10) {
+  LaunchConfig c;
+  c.grid = Dim3(blocks);
+  c.block = Dim3(tpb);
+  c.shared_mem_per_block = shared;
+  c.registers_per_thread = regs;
+  return c;
+}
+
+TEST(Occupancy, ThreadLimitBinds512On768Device) {
+  // Paper section 4.2.1: two 512-thread blocks cannot be co-resident on a
+  // 768-active-thread SM.
+  const auto occ = compute_occupancy(geforce_8800_gts_512(), cfg(100, 512));
+  EXPECT_EQ(occ.active_blocks_per_sm, 1);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kThreadsPerSm);
+  EXPECT_EQ(occ.active_threads_per_sm, 512);
+}
+
+TEST(Occupancy, GTX280Hosts2x512) {
+  const auto occ = compute_occupancy(geforce_gtx_280(), cfg(100, 512));
+  EXPECT_EQ(occ.active_blocks_per_sm, 2);
+  EXPECT_EQ(occ.active_threads_per_sm, 1024);
+}
+
+TEST(Occupancy, BlockLimitBindsSmallBlocks) {
+  const auto occ = compute_occupancy(geforce_gtx_280(), cfg(1000, 32));
+  EXPECT_EQ(occ.active_blocks_per_sm, 8);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kBlocksPerSm);
+}
+
+TEST(Occupancy, PaperC6Limit240ConcurrentEpisodes) {
+  // C6: block-level algorithms are limited to 8 blocks x 30 SMs = 240
+  // episodes in flight on the GTX 280.
+  const auto occ = compute_occupancy(geforce_gtx_280(), cfg(15'600, 32));
+  EXPECT_EQ(occ.concurrent_blocks_device, 240);
+  EXPECT_EQ(occ.waves, 65);
+}
+
+TEST(Occupancy, SharedMemoryLimitsResidency) {
+  // A 16 KB block owns the whole SM (the buffered kernels' regime, C2).
+  const auto occ = compute_occupancy(geforce_8800_gts_512(), cfg(100, 64, 16 * 1024));
+  EXPECT_EQ(occ.active_blocks_per_sm, 1);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(Occupancy, RegisterLimit) {
+  // 256 threads x 32 registers = 8192: exactly one block on G92.
+  const auto occ = compute_occupancy(geforce_8800_gts_512(), cfg(100, 256, 0, 32));
+  EXPECT_EQ(occ.active_blocks_per_sm, 1);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, WarpOccupancyMetric) {
+  // 8 blocks x 2 warps = 16 of 32 warps on GTX 280.
+  const auto occ = compute_occupancy(geforce_gtx_280(), cfg(1000, 64));
+  EXPECT_EQ(occ.active_warps_per_sm, 16);
+  EXPECT_DOUBLE_EQ(occ.warp_occupancy, 0.5);
+}
+
+TEST(Occupancy, GridSmallerThanDevice) {
+  const auto occ = compute_occupancy(geforce_gtx_280(), cfg(26, 64));
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kGridTooSmall);
+  EXPECT_EQ(occ.busy_sms, 26);
+  EXPECT_EQ(occ.waves, 1);
+}
+
+TEST(Occupancy, RejectsImpossibleLaunches) {
+  EXPECT_THROW((void)compute_occupancy(geforce_8800_gts_512(), cfg(1, 1024)), gm::DeviceError);
+  EXPECT_THROW((void)compute_occupancy(geforce_8800_gts_512(), cfg(1, 64, 17 * 1024)),
+               gm::DeviceError);
+  EXPECT_THROW((void)compute_occupancy(geforce_8800_gts_512(), cfg(1, 512, 0, 200)),
+               gm::DeviceError);
+}
+
+TEST(Occupancy, WarpsForThreads) {
+  const DeviceSpec d = geforce_gtx_280();
+  EXPECT_EQ(warps_for_threads(d, 1), 1);
+  EXPECT_EQ(warps_for_threads(d, 32), 1);
+  EXPECT_EQ(warps_for_threads(d, 33), 2);
+  EXPECT_EQ(warps_for_threads(d, 512), 16);
+}
+
+}  // namespace
+}  // namespace gpusim

@@ -57,8 +57,9 @@ int main() {
             << "\n";
   for (const std::int64_t window : {512LL, 64LL, 8LL}) {
     spec.params.expiry = ExpiryPolicy{window};
-    std::cout << "expiry W=" << window << (window >= 100 ? "    " : window >= 10 ? "     " : "      ")
-              << predict_mining_time(device, spec, model).total_ms << "\n";
+    const char* pad = window >= 100 ? "    " : window >= 10 ? "     " : "      ";
+    std::cout << "expiry W=" << window << pad << predict_mining_time(device, spec, model).total_ms
+              << "\n";
   }
   return 0;
 }

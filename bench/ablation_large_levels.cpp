@@ -35,9 +35,9 @@ int main() {
     spec.params.algorithm = Algorithm::kBlockBuffered;
     const double block_ms = predict_mining_time(device, spec, model).total_ms;
 
-    std::cout << level << "     " << episodes << std::string(16 - std::to_string(episodes).size(), ' ')
-              << thread_ms << "\t\t     " << block_ms << "\t\t " << block_ms / thread_ms
-              << "\n";
+    const std::string pad(16 - std::to_string(episodes).size(), ' ');
+    std::cout << level << "     " << episodes << pad << thread_ms << "\t\t     " << block_ms
+              << "\t\t " << block_ms / thread_ms << "\n";
   }
   std::cout << "\nThread-level stays near-constant until the episode count exceeds the\n"
                "card's resident-thread capacity; block-level grows with both episode\n"

@@ -3,7 +3,6 @@
 // multicore backend, on a reduced database so the bench completes in seconds.
 // The GPU side reports the *predicted device time* for the same workload at
 // full paper scale, for context.
-#include <chrono>
 #include <iostream>
 
 #include "bench_support/paper_setup.hpp"
@@ -12,7 +11,6 @@
 #include "data/generators.hpp"
 
 int main() {
-  using Clock = std::chrono::steady_clock;
   using gm::core::Alphabet;
 
   const Alphabet alphabet = Alphabet::english_uppercase();

@@ -29,7 +29,8 @@ int main() {
   for (int level = 1; level <= 3; ++level) {
     const auto formula = episode_space_size(26, level);
     const auto enumerated = all_distinct_episodes(Alphabet(26), level).size();
-    std::cout << "L" << level << "=" << formula << (formula == enumerated ? " (verified) " : " (MISMATCH!) ");
+    const char* tag = formula == enumerated ? " (verified) " : " (MISMATCH!) ";
+    std::cout << "L" << level << "=" << formula << tag;
   }
   std::cout << "\n";
   return 0;

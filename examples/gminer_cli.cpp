@@ -27,11 +27,17 @@
 
 namespace {
 
+void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " [--card 8800|gx2|gtx280] [--algo 1..4] [--tpb N] [--support A]\n"
+         "       [--max-level L] [--expiry W] [--semantics subseq|contig]\n"
+         "       [--cpu] [--demo] [dataset.txt]\n";
+}
+
+// Bad invocation: usage goes to stderr and the exit status is 2.  An explicit
+// --help prints to stdout and exits 0 (handled at the call site).
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--card 8800|gx2|gtx280] [--algo 1..4] [--tpb N] [--support A]\n"
-               "       [--max-level L] [--expiry W] [--semantics subseq|contig]\n"
-               "       [--cpu] [--demo] [dataset.txt]\n";
+  print_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -69,7 +75,10 @@ int main(int argc, char** argv) {
     else if (arg == "--semantics") semantics_name = next();
     else if (arg == "--cpu") use_cpu = true;
     else if (arg == "--demo") demo = true;
-    else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);
+      return 0;
+    }
     else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
     else dataset_path = arg;
   }

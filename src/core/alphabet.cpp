@@ -11,7 +11,11 @@ Alphabet::Alphabet(int size) : size_(size) {
 std::string Alphabet::symbol_name(Symbol s) const {
   gm::expects(contains(s), "symbol outside alphabet");
   if (size_ <= 26) return std::string(1, static_cast<char>('A' + s));
-  return "s" + std::to_string(static_cast<int>(s));
+  // Built via += rather than operator+ to dodge GCC 12's -Wrestrict false
+  // positive on short-string concatenation (GCC PR 105329).
+  std::string name = "s";
+  name += std::to_string(static_cast<int>(s));
+  return name;
 }
 
 Sequence Alphabet::parse(std::string_view text) const {

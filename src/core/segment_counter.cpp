@@ -82,9 +82,9 @@ std::int64_t count_state_composition(const Episode& episode, std::span<const Sym
     std::vector<SegmentTransfer> transfers;
     transfers.reserve(static_cast<std::size_t>(chunks));
     for (int c = 0; c < chunks; ++c) {
-      transfers.push_back(
-          segment_transfer(symbols, semantics, expiry, database, bounds[static_cast<std::size_t>(c)],
-                           bounds[static_cast<std::size_t>(c) + 1]));
+      transfers.push_back(segment_transfer(symbols, semantics, expiry, database,
+                                           bounds[static_cast<std::size_t>(c)],
+                                           bounds[static_cast<std::size_t>(c) + 1]));
     }
     // Fold phase (cheap, sequential): thread the exit state through.
     std::int64_t count = 0;

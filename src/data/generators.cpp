@@ -11,7 +11,8 @@ core::Sequence uniform_database(const core::Alphabet& alphabet, std::int64_t siz
   core::Sequence out;
   out.reserve(static_cast<std::size_t>(size));
   for (std::int64_t i = 0; i < size; ++i) {
-    out.push_back(static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(alphabet.size()))));
+    const auto draw = rng.below(static_cast<std::uint64_t>(alphabet.size()));
+    out.push_back(static_cast<core::Symbol>(draw));
   }
   return out;
 }

@@ -22,8 +22,8 @@ struct MultiGpuPrediction {
 
 /// Predict the kernel time when `spec.episode_count` episodes are split as
 /// evenly as possible across `dies` copies of `device`.
-[[nodiscard]] MultiGpuPrediction predict_multi_gpu(const gpusim::DeviceSpec& device, int dies,
-                                                   const WorkloadSpec& spec,
-                                                   const gpusim::CostModel& model = gpusim::CostModel());
+[[nodiscard]] MultiGpuPrediction predict_multi_gpu(
+    const gpusim::DeviceSpec& device, int dies, const WorkloadSpec& spec,
+    const gpusim::CostModel& model = gpusim::CostModel());
 
 }  // namespace gm::kernels

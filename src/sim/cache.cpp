@@ -55,7 +55,8 @@ bool CacheSim::access(std::uint64_t address) noexcept {
 int CacheSim::access_range(std::uint64_t address, int bytes) noexcept {
   int misses = 0;
   const std::uint64_t first = address >> line_shift_;
-  const std::uint64_t last = (address + static_cast<std::uint64_t>(bytes > 0 ? bytes - 1 : 0)) >> line_shift_;
+  const std::uint64_t span = static_cast<std::uint64_t>(bytes > 0 ? bytes - 1 : 0);
+  const std::uint64_t last = (address + span) >> line_shift_;
   for (std::uint64_t line = first; line <= last; ++line) {
     if (!access(line << line_shift_)) ++misses;
   }

@@ -1,0 +1,164 @@
+// backend_shootout — wall-clock comparison of the CPU counting backends on
+// configurable workload shapes, and an end-to-end cross-check that every
+// backend returns bit-identical counts to the serial reference.
+//
+// The interesting axes are the ones the paper characterizes:
+//   * stream length (--db): favors database sharding (cpu-sharded)
+//   * candidate count (--episodes): favors episode parallelism (cpu-parallel)
+//   * alphabet size (--alphabet): favors the waiting-symbol bucket index
+//     (cpu-single-scan), whose per-symbol work is |episodes|/|alphabet|
+//
+// The default configuration is a large-alphabet, long-stream shape where the
+// single-scan engine should beat the episode-parallel backend outright.
+//
+//   backend_shootout [--db N] [--alphabet N] [--episodes N] [--level L]
+//                    [--threads T] [--expiry W] [--semantics subseq|contig]
+//                    [--repeat R] [--seed S]
+//
+// Exits nonzero on any backend disagreement, so a tiny configuration doubles
+// as a CTest smoke test (label bench_smoke).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_support/paper_setup.hpp"
+#include "common/rng.hpp"
+#include "core/cpu_backend.hpp"
+#include "data/generators.hpp"
+
+namespace {
+
+struct Options {
+  std::int64_t db_size = 2'000'000;
+  int alphabet = 200;
+  int episodes = 400;
+  int level = 3;
+  int threads = 0;
+  std::int64_t expiry = 0;
+  int repeat = 3;
+  std::uint64_t seed = 2009;
+  gm::core::Semantics semantics = gm::core::Semantics::kNonOverlappedSubsequence;
+};
+
+std::vector<gm::core::Episode> random_episodes(const gm::core::Alphabet& alphabet, int count,
+                                               int level, gm::Rng& rng) {
+  std::vector<gm::core::Symbol> pool(static_cast<std::size_t>(alphabet.size()));
+  std::iota(pool.begin(), pool.end(), gm::core::Symbol{0});
+  std::vector<gm::core::Episode> episodes;
+  episodes.reserve(static_cast<std::size_t>(count));
+  for (int e = 0; e < count; ++e) {
+    // Partial Fisher-Yates: the first `level` slots become a random
+    // distinct-symbol episode (the paper's episode space).
+    for (int i = 0; i < level; ++i) {
+      const auto j = static_cast<std::size_t>(i) +
+                     static_cast<std::size_t>(rng.below(pool.size() - static_cast<std::size_t>(i)));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    }
+    episodes.emplace_back(
+        std::vector<gm::core::Symbol>(pool.begin(), pool.begin() + level));
+  }
+  return episodes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--db") opt.db_size = std::atoll(next());
+    else if (arg == "--alphabet") opt.alphabet = std::atoi(next());
+    else if (arg == "--episodes") opt.episodes = std::atoi(next());
+    else if (arg == "--level") opt.level = std::atoi(next());
+    else if (arg == "--threads") opt.threads = std::atoi(next());
+    else if (arg == "--expiry") opt.expiry = std::atoll(next());
+    else if (arg == "--repeat") opt.repeat = std::atoi(next());
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--semantics") {
+      const std::string name = next();
+      if (name == "contig") opt.semantics = gm::core::Semantics::kContiguousRestart;
+      else if (name != "subseq") {
+        std::cerr << "unknown semantics: " << name << "\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opt.db_size < 1 || opt.alphabet < 1 || opt.alphabet > 255 || opt.episodes < 1 ||
+      opt.level < 1 || opt.level > opt.alphabet || opt.repeat < 1) {
+    std::cerr << "invalid configuration\n";
+    return 2;
+  }
+
+  const gm::core::Alphabet alphabet(opt.alphabet);
+  gm::Rng rng(opt.seed);
+  const auto db = gm::data::uniform_database(alphabet, opt.db_size, rng());
+  const auto episodes = random_episodes(alphabet, opt.episodes, opt.level, rng);
+
+  gm::core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  request.semantics = opt.semantics;
+  request.expiry = gm::core::ExpiryPolicy{opt.expiry};
+
+  std::cout << "backend shootout: db=" << opt.db_size << " alphabet=" << opt.alphabet
+            << " episodes=" << opt.episodes << " level=" << opt.level
+            << " expiry=" << opt.expiry << " semantics=" << to_string(opt.semantics)
+            << " repeat=" << opt.repeat << "\n\n";
+
+  std::vector<std::int64_t> reference;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool all_agree = true;
+  double single_scan_ms = 0.0;
+
+  std::printf("%-20s %12s %10s %10s\n", "backend", "best ms", "vs serial", "agrees");
+  for (const auto name :
+       {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan"}) {
+    gm::bench::BackendSpec spec;
+    spec.name = name;
+    spec.threads = opt.threads;
+    const auto backend = gm::bench::make_backend(spec);
+
+    double best_ms = 0.0;
+    gm::core::CountResult result;
+    for (int r = 0; r < opt.repeat; ++r) {
+      result = backend->count(request);
+      best_ms = (r == 0) ? result.host_ms : std::min(best_ms, result.host_ms);
+    }
+
+    bool agrees = true;
+    if (reference.empty()) {
+      reference = result.counts;  // cpu-serial runs first: it is the reference
+      serial_ms = best_ms;
+    } else {
+      agrees = result.counts == reference;
+      all_agree = all_agree && agrees;
+    }
+    if (std::string(name) == "cpu-parallel") parallel_ms = best_ms;
+    if (std::string(name) == "cpu-single-scan") single_scan_ms = best_ms;
+    std::printf("%-20s %12.2f %9.2fx %10s\n", backend->name().c_str(), best_ms,
+                best_ms > 0 ? serial_ms / best_ms : 0.0, agrees ? "yes" : "NO");
+  }
+
+  if (parallel_ms > 0 && single_scan_ms > 0) {
+    std::printf("\nsingle-scan vs episode-parallel: %.2fx\n", parallel_ms / single_scan_ms);
+  }
+  if (!all_agree) {
+    std::cerr << "\nERROR: backend disagreement against the serial reference\n";
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,9 @@
 // the "tool a downstream user would actually run".
 //
 //   gminer_cli [options] [dataset.txt]
+//     --backend <name>             counting backend       (default gpusim;
+//                                  names from bench::backend_names())
+//     --threads <n>                CPU backend threads, 0 = hw (default 0)
 //     --card <8800|gx2|gtx280>     simulated card         (default gtx280)
 //     --algo <1|2|3|4>             paper algorithm        (default 3)
 //     --tpb <n>                    threads per block      (default 64)
@@ -9,7 +12,7 @@
 //     --max-level <L>              episode length bound   (default 3)
 //     --expiry <W>                 expiry window, 0 = off (default 0)
 //     --semantics <subseq|contig>  counting semantics     (default subseq)
-//     --cpu                        use the serial CPU backend instead
+//     --cpu                        alias for --backend cpu-serial
 //     --demo                       run on a built-in synthetic dataset
 //
 // Without a dataset argument, reads the dataset format (see
@@ -19,19 +22,21 @@
 #include <memory>
 #include <string>
 
-#include "core/cpu_backend.hpp"
+#include "bench_support/paper_setup.hpp"
 #include "core/miner.hpp"
 #include "data/dataset_io.hpp"
 #include "data/generators.hpp"
-#include "kernels/gpu_backend.hpp"
 
 namespace {
 
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
-      << " [--card 8800|gx2|gtx280] [--algo 1..4] [--tpb N] [--support A]\n"
-         "       [--max-level L] [--expiry W] [--semantics subseq|contig]\n"
-         "       [--cpu] [--demo] [dataset.txt]\n";
+      << " [--backend <name>] [--threads N] [--card 8800|gx2|gtx280]\n"
+         "       [--algo 1..4] [--tpb N] [--support A] [--max-level L] [--expiry W]\n"
+         "       [--semantics subseq|contig] [--cpu] [--demo] [dataset.txt]\n"
+         "backends:";
+  for (const auto name : gm::bench::backend_names()) out << " " << name;
+  out << "\n";
 }
 
 // Bad invocation: usage goes to stderr and the exit status is 2.  An explicit
@@ -46,13 +51,14 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace gm;
 
+  std::string backend_name = "gpusim";
+  int threads = 0;
   std::string card = "gtx280";
   int algo = 3;
   int tpb = 64;
   double support = 0.001;
   int max_level = 3;
   std::int64_t expiry = 0;
-  bool use_cpu = false;
   bool demo = false;
   std::string semantics_name = "subseq";
   std::string dataset_path;
@@ -66,14 +72,16 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--card") card = next();
+    if (arg == "--backend") backend_name = next();
+    else if (arg == "--threads") threads = std::atoi(next());
+    else if (arg == "--card") card = next();
     else if (arg == "--algo") algo = std::atoi(next());
     else if (arg == "--tpb") tpb = std::atoi(next());
     else if (arg == "--support") support = std::atof(next());
     else if (arg == "--max-level") max_level = std::atoi(next());
     else if (arg == "--expiry") expiry = std::atoll(next());
     else if (arg == "--semantics") semantics_name = next();
-    else if (arg == "--cpu") use_cpu = true;
+    else if (arg == "--cpu") backend_name = "cpu-serial";
     else if (arg == "--demo") demo = true;
     else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout, argv[0]);
@@ -107,14 +115,19 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
 
+    bench::BackendSpec spec;
+    spec.name = backend_name;
+    spec.threads = threads;
+    spec.card = card;
+    spec.launch.algorithm = static_cast<kernels::Algorithm>(algo);
+    spec.launch.threads_per_block = tpb;
     std::unique_ptr<core::CountingBackend> backend;
-    if (use_cpu) {
-      backend = std::make_unique<core::SerialCpuBackend>();
-    } else {
-      kernels::MiningLaunchParams params;
-      params.algorithm = static_cast<kernels::Algorithm>(algo);
-      params.threads_per_block = tpb;
-      backend = std::make_unique<kernels::SimGpuBackend>(gpusim::device_by_name(card), params);
+    try {
+      backend = bench::make_backend(spec);
+    } catch (const gm::PreconditionError& e) {
+      // An unknown backend name is a bad invocation (exit 2), not a data error.
+      std::cerr << "error: " << e.what() << "\n";
+      return usage(argv[0]);
     }
     std::cerr << "backend: " << backend->name() << "\n";
 

@@ -1,15 +1,39 @@
 // Shared configuration of the paper-reproduction benches: the evaluation
-// workload (393,019 letters, episode levels 1-3) and one-call helpers that
-// predict a mining kernel's time on a card via the analytic workload model.
+// workload (393,019 letters, episode levels 1-3), one-call helpers that
+// predict a mining kernel's time on a card via the analytic workload model,
+// and the backend selection shared by the CLI and the bench drivers.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "core/counting.hpp"
+#include "kernels/mining_kernels.hpp"
 #include "kernels/workload_model.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/device_spec.hpp"
 
 namespace gm::bench {
+
+/// Everything needed to name a counting backend on a command line.
+struct BackendSpec {
+  /// "cpu-serial" | "cpu-parallel" | "cpu-sharded" | "cpu-single-scan" |
+  /// "gpusim" (unprefixed cpu aliases accepted).
+  std::string name = "gpusim";
+  int threads = 0;  ///< CPU backends: 0 = hardware concurrency
+  std::string card = "gtx280";
+  kernels::MiningLaunchParams launch = {};  ///< gpusim only
+};
+
+/// Construct the backend a spec names.  Throws gm::PreconditionError for an
+/// unknown name, listing the valid ones.
+[[nodiscard]] std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec);
+
+/// The names make_backend accepts (for --help text and shootout sweeps).
+[[nodiscard]] std::vector<std::string_view> backend_names();
 
 /// Episode counts of the paper's levels over the 26-letter alphabet.
 [[nodiscard]] std::int64_t paper_episode_count(int level);

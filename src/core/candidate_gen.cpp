@@ -115,19 +115,19 @@ std::vector<Episode> generate_candidates(const std::vector<Episode>& frequent_pr
   return pruned;
 }
 
-std::vector<Episode> eliminate_infrequent(const std::vector<Episode>& episodes,
-                                          const std::vector<std::int64_t>& counts,
-                                          std::int64_t database_size,
-                                          double support_threshold) {
+std::vector<std::size_t> eliminate_infrequent(std::span<const Episode> episodes,
+                                              const std::vector<std::int64_t>& counts,
+                                              std::int64_t database_size,
+                                              double support_threshold) {
   gm::expects(episodes.size() == counts.size(), "episode/count size mismatch");
   gm::expects(database_size > 0, "database must be non-empty");
-  std::vector<Episode> out;
+  std::vector<std::size_t> keep;
   for (std::size_t i = 0; i < episodes.size(); ++i) {
     const double support =
         static_cast<double>(counts[i]) / static_cast<double>(database_size);
-    if (support > support_threshold) out.push_back(episodes[i]);
+    if (support > support_threshold) keep.push_back(i);
   }
-  return out;
+  return keep;
 }
 
 }  // namespace gm::core

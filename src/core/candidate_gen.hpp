@@ -3,7 +3,9 @@
 // paper's evaluation (Table 1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/alphabet.hpp"
@@ -32,10 +34,13 @@ namespace gm::core {
 /// Level-1 candidates: one per alphabet symbol.
 [[nodiscard]] std::vector<Episode> level1_candidates(const Alphabet& alphabet);
 
-/// Elimination step: keep episodes whose count/database_size > threshold.
-[[nodiscard]] std::vector<Episode> eliminate_infrequent(const std::vector<Episode>& episodes,
-                                                        const std::vector<std::int64_t>& counts,
-                                                        std::int64_t database_size,
-                                                        double support_threshold);
+/// Elimination step: indices of the episodes whose count/database_size >
+/// threshold, in input order.  Returning indices (rather than a filtered
+/// copy) lets every consumer of the level — next-level candidate generation
+/// AND the mining report — apply the one support decision, so the two can
+/// never drift.
+[[nodiscard]] std::vector<std::size_t> eliminate_infrequent(
+    std::span<const Episode> episodes, const std::vector<std::int64_t>& counts,
+    std::int64_t database_size, double support_threshold);
 
 }  // namespace gm::core

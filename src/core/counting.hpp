@@ -17,7 +17,11 @@ namespace gm::core {
 
 struct CountRequest {
   std::span<const Symbol> database;
-  std::vector<Episode> episodes;
+  /// Views the caller's episode list (no per-level deep copy); the caller
+  /// keeps it alive for the duration of count().  Beware: a span binds to an
+  /// rvalue vector without warning — never assign a temporary (e.g. a direct
+  /// all_distinct_episodes() result) or count() reads freed memory.
+  std::span<const Episode> episodes;
   Semantics semantics = Semantics::kNonOverlappedSubsequence;
   ExpiryPolicy expiry = {};
 };

@@ -1,7 +1,21 @@
 // CPU counting backends: the serial single-core reference (the GMiner-class
-// baseline the paper motivates against) and an episode-parallel std::thread
-// implementation (the fair multicore comparator).
+// baseline the paper motivates against) and three parallel/indexed
+// formulations covering both parallelization axes of the counting step:
+//
+//   backend            parallel axis     per-level cost (t threads)
+//   cpu-serial         —                 O(|DB| * |eps|)
+//   cpu-parallel       episodes          O(|DB| * |eps| / t)
+//   cpu-sharded        database          O(|DB| * |eps| * L / t) map + fold
+//   cpu-single-scan    — (indexed)       O(|DB| * (1 + |eps|/|alphabet|))
+//
+// cpu-parallel scales with the candidate count, cpu-sharded with the stream
+// length (the axis that matters when candidates are few but the database is
+// long), and cpu-single-scan replaces brute-force rescans with one pass
+// driving all automata through a waiting-symbol bucket index.
 #pragma once
+
+#include <memory>
+#include <string_view>
 
 #include "core/counting.hpp"
 
@@ -16,7 +30,8 @@ class SerialCpuBackend final : public CountingBackend {
 
 /// Episodes partitioned across `threads` host threads (thread-level
 /// parallelism in the paper's taxonomy: one worker = one episode at a time,
-/// identity reduce).
+/// identity reduce).  Workers accumulate privately and merge at the end, so
+/// no two threads ever write adjacent result slots (no false sharing).
 class ParallelCpuBackend final : public CountingBackend {
  public:
   /// `threads` = 0 picks the hardware concurrency.
@@ -30,5 +45,40 @@ class ParallelCpuBackend final : public CountingBackend {
  private:
   int threads_;
 };
+
+/// Database partitioned into `threads` shards (block-level parallelism in the
+/// paper's taxonomy).  Each (episode, shard) task computes the shard's
+/// transfer function; a cheap sequential fold composes them into exactly the
+/// serial count (segment_counter's kStateComposition).  With expiry enabled
+/// the transfer function is position-dependent, so each episode falls back to
+/// a sequential chunk-chain scan and the parallel axis degrades to episodes.
+class ShardedCpuBackend final : public CountingBackend {
+ public:
+  /// `threads` = 0 picks the hardware concurrency; shards == threads.
+  explicit ShardedCpuBackend(int threads = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] CountResult count(const CountRequest& request) override;
+
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+ private:
+  int threads_;
+};
+
+/// Single-threaded single-scan engine: one database pass drives all episode
+/// automata via the waiting-symbol bucket index (core/multi_counter.hpp).
+class SingleScanCpuBackend final : public CountingBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "cpu-single-scan"; }
+  [[nodiscard]] CountResult count(const CountRequest& request) override;
+};
+
+/// Construct a CPU backend by name: "cpu-serial", "cpu-parallel",
+/// "cpu-sharded", or "cpu-single-scan" (unprefixed aliases accepted).
+/// Returns nullptr for unknown names so callers can layer their own backends
+/// (e.g. the simulated GPU) on top of the selection.
+[[nodiscard]] std::unique_ptr<CountingBackend> make_cpu_backend(std::string_view name,
+                                                                int threads = 0);
 
 }  // namespace gm::core

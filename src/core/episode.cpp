@@ -52,7 +52,7 @@ std::span<const Symbol> PackedEpisodes::episode(std::int64_t index) const {
   return {symbols.data() + index * level, static_cast<std::size_t>(level)};
 }
 
-PackedEpisodes pack_episodes(const std::vector<Episode>& episodes, std::int64_t padded_count) {
+PackedEpisodes pack_episodes(std::span<const Episode> episodes, std::int64_t padded_count) {
   gm::expects(!episodes.empty(), "cannot pack an empty episode list");
   PackedEpisodes packed;
   packed.level = episodes.front().level();

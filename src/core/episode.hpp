@@ -72,7 +72,7 @@ struct PackedEpisodes {
 
 /// Pack `episodes` (all of one level) and pad the list to `padded_count`
 /// entries (Mars-style MapReduce record padding so every thread owns a slot).
-[[nodiscard]] PackedEpisodes pack_episodes(const std::vector<Episode>& episodes,
+[[nodiscard]] PackedEpisodes pack_episodes(std::span<const Episode> episodes,
                                            std::int64_t padded_count = 0);
 
 }  // namespace gm::core

@@ -20,7 +20,7 @@ MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alph
   while (!candidates.empty() && (config.max_level == 0 || level <= config.max_level)) {
     CountRequest request;
     request.database = database;
-    request.episodes = candidates;
+    request.episodes = candidates;  // view, not a per-level deep copy
     request.semantics = config.semantics;
     request.expiry = config.expiry;
 
@@ -28,23 +28,26 @@ MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alph
     gm::ensure(counted.counts.size() == candidates.size(),
                "backend returned wrong number of counts");
 
-    std::vector<Episode> frequent_here =
+    // One support decision feeds both the mining report and the next level,
+    // so the two can never disagree on what survived.
+    const std::vector<std::size_t> keep =
         eliminate_infrequent(candidates, counted.counts, n, config.support_threshold);
 
     LevelReport report;
     report.level = level;
     report.candidates = static_cast<std::int64_t>(candidates.size());
-    report.frequent = static_cast<std::int64_t>(frequent_here.size());
+    report.frequent = static_cast<std::int64_t>(keep.size());
     report.count_host_ms = counted.host_ms;
     report.simulated_kernel_ms = counted.simulated_kernel_ms;
     result.levels.push_back(report);
 
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<Episode> frequent_here;
+    frequent_here.reserve(keep.size());
+    for (const std::size_t i : keep) {
       const double support =
           static_cast<double>(counted.counts[i]) / static_cast<double>(n);
-      if (support > config.support_threshold) {
-        result.frequent.push_back({candidates[i], counted.counts[i], support});
-      }
+      result.frequent.push_back({candidates[i], counted.counts[i], support});
+      frequent_here.push_back(candidates[i]);
     }
 
     candidates = generate_candidates(frequent_here, config.apriori_prune);

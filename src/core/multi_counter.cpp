@@ -1,0 +1,150 @@
+#include "core/multi_counter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace gm::core {
+namespace {
+
+// One episode automaton flattened for the bucket index.  `gen` invalidates
+// bucket entries left behind when the automaton moves without being processed
+// from its bucket (expiry re-bucketing).
+struct Slot {
+  std::span<const Symbol> episode;
+  std::int64_t count = 0;
+  std::int64_t first_pos = 0;
+  std::uint64_t gen = 0;  // 64-bit: cannot wrap within an int64-indexed stream
+  int state = 0;
+};
+
+struct BucketEntry {
+  std::uint32_t slot = 0;
+  std::uint64_t gen = 0;
+};
+
+// Pending expiry deadline for slot `slot`'s in-flight match.  Validated on
+// pop against the slot's live first_pos (a completed-and-restarted match has
+// a different deadline), so no generation is needed here.
+struct Deadline {
+  std::int64_t at = 0;
+  std::uint32_t slot = 0;
+  friend bool operator>(const Deadline& a, const Deadline& b) { return a.at > b.at; }
+};
+
+// Dense fallback: step every automaton on every symbol.  Used for
+// kContiguousRestart, whose mismatch edges let any symbol transition any
+// in-flight automaton, defeating a waiting-symbol index.  Still a single
+// database read, unlike the per-episode rescans of count_all.
+std::vector<std::int64_t> count_dense(std::span<const Episode> episodes,
+                                      std::span<const Symbol> database, Semantics semantics,
+                                      ExpiryPolicy expiry) {
+  std::vector<EpisodeAutomaton> automata;
+  automata.reserve(episodes.size());
+  for (const auto& e : episodes) automata.emplace_back(e.symbols(), semantics, expiry);
+  std::vector<std::int64_t> counts(episodes.size(), 0);
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    const Symbol s = database[i];
+    const auto pos = static_cast<std::int64_t>(i);
+    for (std::size_t a = 0; a < automata.size(); ++a) {
+      if (automata[a].step(s, pos)) ++counts[a];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
+                                                std::span<const Symbol> database,
+                                                Semantics semantics, ExpiryPolicy expiry) {
+  for (const auto& e : episodes) gm::expects(!e.empty(), "cannot count an empty episode");
+  if (episodes.empty()) return {};
+  gm::expects(episodes.size() <= std::numeric_limits<std::uint32_t>::max(),
+              "too many episodes for the single-scan index");
+
+  if (semantics == Semantics::kContiguousRestart) {
+    return count_dense(episodes, database, semantics, expiry);
+  }
+
+  // Deadlines are computed as first_pos + window, so clamp huge user-supplied
+  // windows to the database size before they can overflow: any window >= |DB|
+  // behaves identically (pos - first_pos never reaches it inside the scan,
+  // exactly as in the serial automaton's subtraction form).
+  if (expiry.enabled()) {
+    expiry.window =
+        std::min(expiry.window, static_cast<std::int64_t>(database.size()));
+  }
+
+  std::vector<Slot> slots;
+  slots.reserve(episodes.size());
+  // Symbol is 8-bit, so a direct-mapped bucket table covers every alphabet.
+  std::vector<std::vector<BucketEntry>> buckets(256);
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(episodes.size()); ++i) {
+    Slot slot;
+    slot.episode = episodes[i].symbols();
+    slots.push_back(slot);
+    buckets[slots[i].episode[0]].push_back({i, 0});
+  }
+
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> deadlines;
+  std::vector<BucketEntry> scratch;
+
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    const Symbol s = database[i];
+    const auto pos = static_cast<std::int64_t>(i);
+
+    // Expire matches that can no longer finish by this position: the serial
+    // automaton resets them at step time, so they must be back in their
+    // episode[0] bucket before this symbol is dispatched.
+    if (expiry.enabled()) {
+      while (!deadlines.empty() && deadlines.top().at <= pos) {
+        const Deadline d = deadlines.top();
+        deadlines.pop();
+        Slot& slot = slots[d.slot];
+        if (slot.state > 0 && slot.first_pos + expiry.window == d.at) {
+          slot.state = 0;
+          ++slot.gen;  // the entry still filed under the old awaited symbol dies
+          buckets[slot.episode[0]].push_back({d.slot, slot.gen});
+        }
+      }
+    }
+
+    auto& bucket = buckets[s];
+    if (bucket.empty()) continue;
+    // Swap the bucket out before advancing: an automaton whose next awaited
+    // symbol is also `s` (repeated-symbol episode) must re-file for the NEXT
+    // occurrence, not be stepped twice on this one.
+    scratch.swap(bucket);
+    for (const BucketEntry entry : scratch) {
+      Slot& slot = slots[entry.slot];
+      if (slot.gen != entry.gen) continue;  // stale: expired/re-bucketed since
+      if (slot.state == 0) {
+        slot.first_pos = pos;
+        // Level-1 episodes complete in this same step, so a deadline could
+        // never fire usefully — don't flood the heap with one per match.
+        if (expiry.enabled() && slot.episode.size() > 1) {
+          deadlines.push({pos + expiry.window, entry.slot});
+        }
+      }
+      ++slot.state;
+      ++slot.gen;
+      if (slot.state == static_cast<int>(slot.episode.size())) {
+        ++slot.count;
+        slot.state = 0;
+      }
+      buckets[slot.episode[static_cast<std::size_t>(slot.state)]].push_back(
+          {entry.slot, slot.gen});
+    }
+    scratch.clear();
+  }
+
+  std::vector<std::int64_t> counts;
+  counts.reserve(slots.size());
+  for (const Slot& slot : slots) counts.push_back(slot.count);
+  return counts;
+}
+
+}  // namespace gm::core

@@ -1,0 +1,41 @@
+// Single-scan multi-episode counting engine.
+//
+// The serial reference (`count_all`) re-scans the full database once per
+// episode, so level-L counting costs O(|DB| * |candidates|) automaton steps.
+// This engine makes ONE pass over the event stream and advances *all* episode
+// automata simultaneously through a symbol -> waiting-automata bucket index:
+// each automaton is filed under the symbol it is currently waiting for, so the
+// work per stream symbol is proportional to the automata actually awaiting
+// that symbol (|candidates| / |alphabet| in expectation) instead of
+// |candidates|.  This is the accelerator-oriented transformation of the
+// counting step — one stream drive, many machines — applied on the host.
+//
+// Episode expiry (ExpiryPolicy) is handled with lazy deadlines: starting a
+// match schedules `first_pos + window` on a min-heap, and before each stream
+// position every automaton whose deadline has passed is reset and re-bucketed
+// to await episode[0] again (it must be able to catch a fresh first symbol
+// even though its old awaited symbol never arrived).  Stale bucket entries
+// left behind by expiry are invalidated by a per-automaton generation counter.
+//
+// kContiguousRestart semantics are served by a dense per-episode path: its
+// mismatch edges mean *every* symbol can transition any in-flight automaton,
+// so a waiting-symbol index cannot skip work.  The dense path still reads the
+// database once, stepping each automaton per symbol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/automaton.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core {
+
+/// Count every episode in one pass over `database`.  Exactly equals
+/// `count_occurrences(episodes[i], ...)` element-for-element for all inputs.
+[[nodiscard]] std::vector<std::int64_t> count_all_single_scan(
+    std::span<const Episode> episodes, std::span<const Symbol> database, Semantics semantics,
+    ExpiryPolicy expiry = {});
+
+}  // namespace gm::core

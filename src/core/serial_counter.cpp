@@ -15,7 +15,7 @@ std::int64_t count_occurrences(const Episode& episode, std::span<const Symbol> d
   return count;
 }
 
-std::vector<std::int64_t> count_all(const std::vector<Episode>& episodes,
+std::vector<std::int64_t> count_all(std::span<const Episode> episodes,
                                     std::span<const Symbol> database, Semantics semantics,
                                     ExpiryPolicy expiry) {
   std::vector<std::int64_t> counts;

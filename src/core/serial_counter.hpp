@@ -20,7 +20,7 @@ namespace gm::core {
 
 /// Count each episode independently (one full scan per episode, mirroring
 /// the paper's map function).
-[[nodiscard]] std::vector<std::int64_t> count_all(const std::vector<Episode>& episodes,
+[[nodiscard]] std::vector<std::int64_t> count_all(std::span<const Episode> episodes,
                                                   std::span<const Symbol> database,
                                                   Semantics semantics,
                                                   ExpiryPolicy expiry = {});

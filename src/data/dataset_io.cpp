@@ -1,47 +1,93 @@
 #include "data/dataset_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 
 namespace gm::data {
+namespace {
+
+std::string at_line(std::size_t line_no, const std::string& what) {
+  return "line " + std::to_string(line_no) + ": " + what;
+}
+
+bool is_letter_token(char c) { return c >= 'A' && c <= 'Z'; }
+bool is_digit_token(char c) { return c >= '0' && c <= '9'; }
+bool is_blank(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+}  // namespace
 
 Dataset read_dataset(std::istream& in) {
   std::string line;
+  std::size_t line_no = 0;
   int alphabet_size = -1;
 
   // Header: first significant line must be "alphabet <N>".
   while (std::getline(in, line)) {
+    ++line_no;
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     std::istringstream header(line);
     std::string keyword;
     header >> keyword >> alphabet_size;
-    gm::expects(keyword == "alphabet" && alphabet_size >= 1,
-                "dataset must start with 'alphabet <N>'");
+    gm::expects(keyword == "alphabet" && alphabet_size >= 1 && alphabet_size <= 255,
+                at_line(line_no, "dataset must start with 'alphabet <N>' (1 <= N <= 255)"));
     break;
   }
   gm::expects(alphabet_size >= 1, "dataset missing 'alphabet <N>' header");
 
   Dataset dataset{core::Alphabet(alphabet_size), {}};
-  const bool letters = alphabet_size <= 26;
+  // The event encoding — letters ('A'..) or whitespace-separated decimal ids —
+  // is detected from the data itself: the first event character decides.
+  // (Guessing from the alphabet size misparsed numeric files with <= 26
+  // symbols into baffling out-of-alphabet errors.)
+  enum class Format { kUnknown, kLetters, kNumeric };
+  Format format = Format::kUnknown;
   while (std::getline(in, line)) {
+    ++line_no;
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    if (letters) {
+    if (format == Format::kUnknown) {
+      const char c = line[first];
+      gm::expects(is_letter_token(c) || is_digit_token(c),
+                  at_line(line_no, std::string("unrecognized event data starting with '") + c +
+                                       "' (expected 'A'.. letters or decimal ids)"));
+      format = is_letter_token(c) ? Format::kLetters : Format::kNumeric;
+    }
+    if (format == Format::kLetters) {
       for (const char c : line) {
-        if (c == ' ' || c == '\t' || c == '\r') continue;
+        if (is_blank(c)) continue;
+        gm::expects(is_letter_token(c),
+                    at_line(line_no, std::string("event '") + c +
+                                         "' is not a letter in a letter-format dataset"));
         const int v = c - 'A';
-        gm::expects(v >= 0 && v < alphabet_size,
-                    std::string("event '") + c + "' outside the declared alphabet");
+        gm::expects(v < alphabet_size,
+                    at_line(line_no, std::string("event '") + c +
+                                         "' outside the declared alphabet of " +
+                                         std::to_string(alphabet_size) + " symbols"));
         dataset.events.push_back(static_cast<core::Symbol>(v));
       }
     } else {
       std::istringstream tokens(line);
-      int v = 0;
-      while (tokens >> v) {
-        gm::expects(v >= 0 && v < alphabet_size, "event id outside the declared alphabet");
+      std::string token;
+      while (tokens >> token) {
+        int v = -1;
+        try {
+          std::size_t consumed = 0;
+          v = std::stoi(token, &consumed);
+          gm::expects(consumed == token.size(), at_line(line_no, "event id '" + token +
+                                                                     "' is not a decimal number"));
+        } catch (const std::logic_error&) {  // invalid_argument / out_of_range
+          gm::raise_precondition(
+              at_line(line_no, "event id '" + token + "' is not a decimal number"));
+        }
+        gm::expects(v >= 0 && v < alphabet_size,
+                    at_line(line_no, "event id " + std::to_string(v) +
+                                         " outside the declared alphabet of " +
+                                         std::to_string(alphabet_size) + " symbols"));
         dataset.events.push_back(static_cast<core::Symbol>(v));
       }
     }

@@ -4,8 +4,11 @@
 // Format, line oriented:
 //   # comments and blank lines ignored
 //   alphabet <N>
-//   <events: for N <= 26, contiguous letters 'A'.. on any number of lines;
-//            for larger alphabets, whitespace-separated decimal symbol ids>
+//   <events: either contiguous letters 'A'.. on any number of lines, or
+//            whitespace-separated decimal symbol ids; the encoding is
+//            detected from the first event character, independent of N>
+//
+// Parse errors name the offending line ("line 7: event id 31 outside...").
 #pragma once
 
 #include <iosfwd>
@@ -21,7 +24,8 @@ struct Dataset {
 };
 
 /// Parse a dataset from a stream.  Throws gm::PreconditionError on malformed
-/// input (missing header, out-of-range symbols).
+/// input (missing header, out-of-range symbols, mixed encodings), with the
+/// line number in the message.
 [[nodiscard]] Dataset read_dataset(std::istream& in);
 
 /// Load from a file path.

@@ -455,7 +455,7 @@ LaunchGeometry launch_geometry(Algorithm algorithm, std::int64_t episode_count, 
 }
 
 DeviceProblem::DeviceProblem(const core::Sequence& database,
-                             const std::vector<core::Episode>& episodes,
+                             std::span<const core::Episode> episodes,
                              const MiningLaunchParams& params)
     : params_(params),
       packed_(core::pack_episodes(
@@ -531,7 +531,7 @@ std::vector<std::int64_t> DeviceProblem::extract_counts() const {
 }
 
 MiningRun run_mining_kernel(const gpusim::Engine& engine, const core::Sequence& database,
-                            const std::vector<core::Episode>& episodes,
+                            std::span<const core::Episode> episodes,
                             const MiningLaunchParams& params) {
   DeviceProblem problem(database, episodes, params);
   const gpusim::KernelFn kernel = problem.kernel();

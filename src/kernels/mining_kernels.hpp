@@ -61,7 +61,7 @@ struct MiningLaunchParams {
 /// into them, so the problem must outlive the launch.
 class DeviceProblem {
  public:
-  DeviceProblem(const core::Sequence& database, const std::vector<core::Episode>& episodes,
+  DeviceProblem(const core::Sequence& database, std::span<const core::Episode> episodes,
                 const MiningLaunchParams& params);
 
   [[nodiscard]] const gpusim::LaunchConfig& launch_config() const noexcept { return config_; }
@@ -91,7 +91,7 @@ struct MiningRun {
 
 [[nodiscard]] MiningRun run_mining_kernel(const gpusim::Engine& engine,
                                           const core::Sequence& database,
-                                          const std::vector<core::Episode>& episodes,
+                                          std::span<const core::Episode> episodes,
                                           const MiningLaunchParams& params);
 
 /// The launch geometry a given problem size produces (shared by the kernels

@@ -14,7 +14,7 @@ struct ChunkUnit {
 }  // namespace
 
 std::vector<std::int64_t> count_episodes_thread_level(
-    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    std::span<const core::Symbol> database, std::span<const core::Episode> episodes,
     const EpisodeCountOptions& options) {
   gm::expects(!episodes.empty(), "need at least one episode");
 
@@ -39,7 +39,7 @@ std::vector<std::int64_t> count_episodes_thread_level(
 }
 
 std::vector<std::int64_t> count_episodes_block_level(
-    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    std::span<const core::Symbol> database, std::span<const core::Episode> episodes,
     const EpisodeCountOptions& options) {
   gm::expects(!episodes.empty(), "need at least one episode");
   gm::expects(options.chunks >= 1, "need at least one chunk");

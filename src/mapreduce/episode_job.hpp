@@ -27,14 +27,14 @@ struct EpisodeCountOptions {
 
 /// Thread-level job: one map call per episode, identity reduce.
 [[nodiscard]] std::vector<std::int64_t> count_episodes_thread_level(
-    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    std::span<const core::Symbol> database, std::span<const core::Episode> episodes,
     const EpisodeCountOptions& options = {});
 
 /// Block-level job: one map call per (episode, chunk), composing reduce.
 /// Exact (state-composition spanning fix) when expiry is disabled; with
 /// expiry it applies the overlap-rescan fix like the GPU kernels.
 [[nodiscard]] std::vector<std::int64_t> count_episodes_block_level(
-    std::span<const core::Symbol> database, const std::vector<core::Episode>& episodes,
+    std::span<const core::Symbol> database, std::span<const core::Episode> episodes,
     const EpisodeCountOptions& options = {});
 
 }  // namespace gm::mapreduce

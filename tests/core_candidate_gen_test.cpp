@@ -101,9 +101,17 @@ TEST(EliminateInfrequent, ThresholdIsStrict) {
   const std::vector<Episode> eps = {Episode::from_text(kAbc, "A"),
                                     Episode::from_text(kAbc, "B")};
   // Support must be strictly greater than alpha (paper Algorithm 1).
-  auto kept = eliminate_infrequent(eps, {10, 5}, 100, 0.05);
-  ASSERT_EQ(kept.size(), 1u);
-  EXPECT_EQ(kept[0], eps[0]);
+  const auto keep = eliminate_infrequent(eps, {10, 5}, 100, 0.05);
+  ASSERT_EQ(keep.size(), 1u);
+  EXPECT_EQ(keep[0], 0u);
+}
+
+TEST(EliminateInfrequent, ReturnsIndicesInInputOrder) {
+  const std::vector<Episode> eps = {
+      Episode::from_text(kAbc, "A"), Episode::from_text(kAbc, "B"),
+      Episode::from_text(kAbc, "C"), Episode::from_text(kAbc, "D")};
+  const auto keep = eliminate_infrequent(eps, {9, 1, 7, 5}, 100, 0.02);
+  EXPECT_EQ(keep, (std::vector<std::size_t>{0, 2, 3}));
 }
 
 TEST(EliminateInfrequent, SizeMismatchRejected) {

@@ -1,0 +1,121 @@
+// CPU counting backend tests: randomized bit-exact agreement of the sharded
+// and single-scan backends with the serial reference across semantics,
+// expiry windows, and shard counts, plus regressions for the
+// episode-parallel backend (thread-count narrowing, private accumulation).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/cpu_backend.hpp"
+#include "data/generators.hpp"
+#include "random_episode_util.hpp"
+
+namespace gm::core {
+namespace {
+
+using test::random_episodes;
+
+TEST(ShardedCpuBackend, BitIdenticalToSerialAcrossShardCountsAndSemantics) {
+  Rng rng(42);
+  const Alphabet alphabet(9);
+  const auto db = data::markov_database(alphabet, 4000, 0.55, 7);
+  const auto episodes = random_episodes(rng, 9, 30, 4);
+
+  SerialCpuBackend serial;
+  const Semantics all_semantics[] = {Semantics::kNonOverlappedSubsequence,
+                                     Semantics::kContiguousRestart};
+  for (const Semantics semantics : all_semantics) {
+    for (const std::int64_t window : {std::int64_t{0}, std::int64_t{5}}) {
+      CountRequest request;
+      request.database = db;
+      request.episodes = episodes;
+      request.semantics = semantics;
+      request.expiry = ExpiryPolicy{window};
+      const auto expected = serial.count(request).counts;
+      for (const int shards : {1, 2, 3, 5, 8, 16}) {
+        ShardedCpuBackend sharded(shards);
+        ASSERT_EQ(sharded.count(request).counts, expected)
+            << "shards " << shards << " semantics " << to_string(semantics) << " window "
+            << window;
+      }
+    }
+  }
+}
+
+TEST(ShardedCpuBackend, MoreShardsThanSymbolsStillExact) {
+  const std::vector<Episode> episodes = {Episode({0, 1}), Episode({1, 0})};
+  const Sequence db = {0, 1, 0, 1, 1, 0};
+  CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  SerialCpuBackend serial;
+  ShardedCpuBackend sharded(16);  // shards outnumber the 6 symbols
+  EXPECT_EQ(sharded.count(request).counts, serial.count(request).counts);
+}
+
+TEST(SingleScanCpuBackend, AgreesWithSerialBackend) {
+  Rng rng(4242);
+  const Alphabet alphabet(14);
+  const auto db = data::uniform_database(alphabet, 5000, 3);
+  const auto episodes = random_episodes(rng, 14, 50, 3);
+  CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  request.expiry = ExpiryPolicy{6};
+  SerialCpuBackend serial;
+  SingleScanCpuBackend single_scan;
+  EXPECT_EQ(single_scan.count(request).counts, serial.count(request).counts);
+}
+
+// Regression: the worker count once narrowed size_t episode counts through
+// std::min<int>; with more threads than episodes every thread must still
+// claim valid work and the merge must fill every slot exactly once.
+TEST(ParallelCpuBackend, MoreThreadsThanEpisodes) {
+  const std::vector<Episode> episodes = {Episode({0}), Episode({1}), Episode({0, 1})};
+  const Sequence db = {0, 1, 0, 1, 0};
+  CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  SerialCpuBackend serial;
+  ParallelCpuBackend parallel(16);
+  EXPECT_EQ(parallel.count(request).counts, serial.count(request).counts);
+}
+
+TEST(ParallelCpuBackend, ManyEpisodesMergeCompletely) {
+  Rng rng(9);
+  const Alphabet alphabet(6);
+  const auto db = data::uniform_database(alphabet, 2000, 1);
+  const auto episodes = random_episodes(rng, 6, 97, 3);  // not a multiple of threads
+  CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  SerialCpuBackend serial;
+  ParallelCpuBackend parallel(5);
+  EXPECT_EQ(parallel.count(request).counts, serial.count(request).counts);
+}
+
+TEST(CpuBackends, EmptyEpisodeListYieldsEmptyCounts) {
+  const Sequence db = {0, 1, 2};
+  CountRequest request;
+  request.database = db;
+  ParallelCpuBackend parallel(4);
+  ShardedCpuBackend sharded(4);
+  SingleScanCpuBackend single_scan;
+  EXPECT_TRUE(parallel.count(request).counts.empty());
+  EXPECT_TRUE(sharded.count(request).counts.empty());
+  EXPECT_TRUE(single_scan.count(request).counts.empty());
+}
+
+TEST(MakeCpuBackend, ResolvesNamesAndAliases) {
+  EXPECT_EQ(make_cpu_backend("cpu-serial")->name(), "cpu-serial");
+  EXPECT_EQ(make_cpu_backend("serial")->name(), "cpu-serial");
+  EXPECT_EQ(make_cpu_backend("cpu-parallel", 3)->name(), "cpu-parallel-x3");
+  EXPECT_EQ(make_cpu_backend("sharded", 2)->name(), "cpu-sharded-x2");
+  EXPECT_EQ(make_cpu_backend("single-scan")->name(), "cpu-single-scan");
+  EXPECT_EQ(make_cpu_backend("gpusim"), nullptr);
+  EXPECT_EQ(make_cpu_backend("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace gm::core

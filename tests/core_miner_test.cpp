@@ -128,6 +128,52 @@ TEST(Miner, ExpiryReducesCounts) {
   EXPECT_TRUE(some_smaller);
 }
 
+// Regression: the support test used to run twice (eliminate_infrequent and a
+// second inline loop) and could drift.  The per-level report and the
+// discovered-episode list must come from the one keep decision.
+TEST(Miner, LevelReportsAgreeWithDiscoveredEpisodes) {
+  const auto db = data::uniform_database(Alphabet(5), 3000, 21);
+  MinerConfig config;
+  config.support_threshold = 0.01;
+  config.max_level = 3;
+  const auto result = mine(db, Alphabet(5), config);
+
+  std::vector<std::int64_t> per_level(static_cast<std::size_t>(config.max_level) + 1, 0);
+  for (const auto& f : result.frequent) {
+    ASSERT_LE(f.episode.level(), config.max_level);
+    ++per_level[static_cast<std::size_t>(f.episode.level())];
+    EXPECT_GT(f.support, config.support_threshold);
+    EXPECT_EQ(f.support, static_cast<double>(f.count) / static_cast<double>(db.size()));
+  }
+  for (const auto& level : result.levels) {
+    EXPECT_EQ(level.frequent, per_level[static_cast<std::size_t>(level.level)]);
+  }
+}
+
+TEST(Miner, ShardedAndSingleScanBackendsAgreeWithSerial) {
+  const auto db = data::uniform_database(Alphabet(6), 3000, 8);
+  MinerConfig config;
+  config.support_threshold = 0.002;
+  config.max_level = 3;
+  config.expiry = ExpiryPolicy{12};
+
+  SerialCpuBackend serial;
+  ShardedCpuBackend sharded(4);
+  SingleScanCpuBackend single_scan;
+  const auto a = mine_frequent_episodes(db, Alphabet(6), serial, config);
+  const auto b = mine_frequent_episodes(db, Alphabet(6), sharded, config);
+  const auto c = mine_frequent_episodes(db, Alphabet(6), single_scan, config);
+
+  ASSERT_EQ(a.total_frequent(), b.total_frequent());
+  ASSERT_EQ(a.total_frequent(), c.total_frequent());
+  for (std::size_t i = 0; i < a.frequent.size(); ++i) {
+    EXPECT_EQ(a.frequent[i].episode, b.frequent[i].episode);
+    EXPECT_EQ(a.frequent[i].count, b.frequent[i].count);
+    EXPECT_EQ(a.frequent[i].episode, c.frequent[i].episode);
+    EXPECT_EQ(a.frequent[i].count, c.frequent[i].count);
+  }
+}
+
 TEST(Miner, RejectsBadInputs) {
   SerialCpuBackend backend;
   MinerConfig config;

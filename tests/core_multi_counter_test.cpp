@@ -1,0 +1,127 @@
+// Exact-equality tests for the single-scan multi-episode engine: randomized
+// cross-checks against the per-episode serial reference across both counting
+// semantics and expiry windows, plus directed cases for the tricky automaton
+// interactions (repeated-symbol episodes, expiry re-bucketing).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/multi_counter.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "random_episode_util.hpp"
+
+namespace gm::core {
+namespace {
+
+using test::random_episodes;
+
+TEST(SingleScan, MatchesSerialOnRandomizedWorkloads) {
+  Rng rng(0xC0FFEE);
+  const Semantics all_semantics[] = {Semantics::kNonOverlappedSubsequence,
+                                     Semantics::kContiguousRestart};
+  const std::int64_t windows[] = {0, 1, 2, 3, 7, 16};
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto alphabet_size = static_cast<int>(rng.between(2, 24));
+    const Alphabet alphabet(alphabet_size);
+    const auto db = (trial % 2 == 0)
+                        ? data::uniform_database(alphabet, 1500, rng())
+                        : data::markov_database(alphabet, 1500, 0.6, rng());
+    const auto episodes =
+        random_episodes(rng, alphabet_size, static_cast<int>(rng.between(1, 40)), 4);
+    for (const Semantics semantics : all_semantics) {
+      for (const std::int64_t window : windows) {
+        const ExpiryPolicy expiry{window};
+        const auto expected = count_all(episodes, db, semantics, expiry);
+        const auto actual = count_all_single_scan(episodes, db, semantics, expiry);
+        ASSERT_EQ(actual, expected)
+            << "trial " << trial << " alphabet " << alphabet_size << " semantics "
+            << to_string(semantics) << " window " << window;
+      }
+    }
+  }
+}
+
+TEST(SingleScan, RepeatedSymbolEpisodeConsumesOneEventPerStep) {
+  // <A,A> over "AAAA": the serial automaton pairs events greedily -> 2.
+  const std::vector<Episode> episodes = {Episode({0, 0})};
+  const Sequence db = {0, 0, 0, 0};
+  const auto counts =
+      count_all_single_scan(episodes, db, Semantics::kNonOverlappedSubsequence);
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{2}));
+}
+
+TEST(SingleScan, ExpiredAutomatonCatchesFreshFirstSymbol) {
+  // <A,B> with window 2 over "A C C A B": the first A's match expires at the
+  // second C; the automaton must be re-bucketed to await A again, catch the
+  // second A, and complete on B.
+  const std::vector<Episode> episodes = {Episode({0, 1})};
+  const Sequence db = {0, 2, 2, 0, 1};
+  const auto counts = count_all_single_scan(episodes, db,
+                                            Semantics::kNonOverlappedSubsequence,
+                                            ExpiryPolicy{2});
+  EXPECT_EQ(counts, count_all(episodes, db, Semantics::kNonOverlappedSubsequence,
+                              ExpiryPolicy{2}));
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{1}));
+}
+
+TEST(SingleScan, StaleBucketEntryCannotDoubleStepAfterExpiry) {
+  // Adversarial case for the generation tags: episode <B,B>, so the expiry
+  // re-bucket files the automaton into the SAME bucket its stale entry lives
+  // in.  One B event must advance the automaton exactly once.
+  const std::vector<Episode> episodes = {Episode({1, 1})};
+  // B at 0 starts a match (awaits B, deadline 2); A's let it expire; then two
+  // B's form exactly one occurrence.
+  const Sequence db = {1, 0, 0, 1, 1};
+  const ExpiryPolicy expiry{2};
+  const auto expected = count_all(episodes, db, Semantics::kNonOverlappedSubsequence, expiry);
+  const auto actual =
+      count_all_single_scan(episodes, db, Semantics::kNonOverlappedSubsequence, expiry);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(actual, (std::vector<std::int64_t>{1}));
+}
+
+// Regression: deadlines are first_pos + window; a near-INT64_MAX window from
+// the CLI must not overflow (the serial automaton's subtraction form never
+// does), it must simply never expire anything.
+TEST(SingleScan, HugeExpiryWindowDoesNotOverflow) {
+  const std::vector<Episode> episodes = {Episode({0, 1}), Episode({1, 0, 1})};
+  const Sequence db = {0, 2, 1, 0, 1, 1, 0};
+  const ExpiryPolicy huge{std::numeric_limits<std::int64_t>::max()};
+  EXPECT_EQ(count_all_single_scan(episodes, db, Semantics::kNonOverlappedSubsequence, huge),
+            count_all(episodes, db, Semantics::kNonOverlappedSubsequence, huge));
+}
+
+TEST(SingleScan, DuplicateEpisodesCountIndependently) {
+  const std::vector<Episode> episodes = {Episode({0, 1}), Episode({0, 1}), Episode({1})};
+  const Sequence db = {0, 1, 0, 1, 1};
+  const auto counts =
+      count_all_single_scan(episodes, db, Semantics::kNonOverlappedSubsequence);
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{2, 2, 3}));
+}
+
+TEST(SingleScan, EmptyInputsHandled) {
+  const Sequence db = {0, 1, 2};
+  EXPECT_TRUE(count_all_single_scan({}, db, Semantics::kNonOverlappedSubsequence).empty());
+  const std::vector<Episode> episodes = {Episode({0, 1})};
+  EXPECT_EQ(count_all_single_scan(episodes, {}, Semantics::kNonOverlappedSubsequence),
+            (std::vector<std::int64_t>{0}));
+}
+
+TEST(SingleScan, ContiguousRestartDensePathMatchesSerial) {
+  Rng rng(77);
+  const Alphabet alphabet(5);
+  const auto db = data::markov_database(alphabet, 3000, 0.5, 123);
+  const auto episodes = random_episodes(rng, 5, 25, 3);
+  for (const std::int64_t window : {std::int64_t{0}, std::int64_t{4}}) {
+    EXPECT_EQ(count_all_single_scan(episodes, db, Semantics::kContiguousRestart,
+                                    ExpiryPolicy{window}),
+              count_all(episodes, db, Semantics::kContiguousRestart, ExpiryPolicy{window}));
+  }
+}
+
+}  // namespace
+}  // namespace gm::core

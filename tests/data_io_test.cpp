@@ -60,6 +60,42 @@ TEST(DatasetIo, OutOfAlphabetEventRejected) {
   EXPECT_THROW((void)read_dataset(ids), gm::PreconditionError);
 }
 
+// Regression: the reader used to assume letter format whenever N <= 26, so a
+// numeric-token file with a small alphabet misparsed into out-of-alphabet
+// errors.  The encoding must be detected from the data, not the header.
+TEST(DatasetIo, NumericTokensWithSmallAlphabetParse) {
+  std::stringstream in(
+      "alphabet 5\n"
+      "0 1 2\n"
+      "4 3\n");
+  const Dataset dataset = read_dataset(in);
+  EXPECT_EQ(dataset.events, (core::Sequence{0, 1, 2, 4, 3}));
+}
+
+TEST(DatasetIo, LetterTokensWithLargeAlphabetParse) {
+  std::stringstream in("alphabet 100\nABBA\n");
+  EXPECT_EQ(read_dataset(in).events, (core::Sequence{0, 1, 1, 0}));
+}
+
+TEST(DatasetIo, ParseErrorsNameTheLine) {
+  auto message_of = [](const std::string& text) -> std::string {
+    std::stringstream in(text);
+    try {
+      (void)read_dataset(in);
+    } catch (const gm::PreconditionError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of("alphabet 3\nAB\nABD\n").find("line 3"), std::string::npos);
+  EXPECT_NE(message_of("alphabet 30\n1 2\n1 30\n").find("line 3"), std::string::npos);
+  EXPECT_NE(message_of("alphabet 0\n").find("line 1"), std::string::npos);
+  EXPECT_NE(message_of("# intro\nalphabet 4\n?!\n").find("line 3"), std::string::npos);
+  // Mixed encodings are rejected, not silently reinterpreted.
+  EXPECT_NE(message_of("alphabet 26\n0 1 2\nABC\n").find("line 3"), std::string::npos);
+  EXPECT_NE(message_of("alphabet 26\n0 1 2x\n").find("not a decimal"), std::string::npos);
+}
+
 TEST(DatasetIo, MissingFileRejected) {
   EXPECT_THROW((void)load_dataset("/nonexistent/path/data.txt"), gm::PreconditionError);
 }

@@ -70,9 +70,10 @@ TEST(SimGpuBackend, RequestSemanticsOverrideLaunchDefaults) {
   params.threads_per_block = 32;
   SimGpuBackend gpu(gpusim::geforce_gtx_280(), params, {}, fast_engine());
 
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
   core::CountRequest request;
   request.database = db;
-  request.episodes = core::all_distinct_episodes(alphabet, 2);
+  request.episodes = episodes;
   request.semantics = core::Semantics::kContiguousRestart;
   const auto result = gpu.count(request);
   EXPECT_EQ(result.counts,

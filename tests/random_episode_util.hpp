@@ -1,0 +1,33 @@
+// Shared test helper: random episode lists for the randomized backend
+// equivalence suites.  Repeats are allowed on purpose — repeated-symbol
+// episodes exercise the single-scan engine's re-file-into-the-swapped-out
+// bucket path and the automaton's greedy consumption.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/episode.hpp"
+
+namespace gm::core::test {
+
+inline std::vector<Episode> random_episodes(Rng& rng, int alphabet_size, int count,
+                                            int max_level) {
+  std::vector<Episode> episodes;
+  episodes.reserve(static_cast<std::size_t>(count));
+  for (int e = 0; e < count; ++e) {
+    const auto level = static_cast<int>(rng.between(1, max_level));
+    std::vector<Symbol> symbols;
+    symbols.reserve(static_cast<std::size_t>(level));
+    for (int i = 0; i < level; ++i) {
+      symbols.push_back(
+          static_cast<Symbol>(rng.below(static_cast<std::uint64_t>(alphabet_size))));
+    }
+    episodes.emplace_back(std::move(symbols));
+  }
+  return episodes;
+}
+
+}  // namespace gm::core::test

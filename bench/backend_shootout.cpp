@@ -14,20 +14,29 @@
 //   backend_shootout [--db N] [--alphabet N] [--episodes N] [--level L]
 //                    [--threads T] [--expiry W] [--semantics subseq|contig]
 //                    [--repeat R] [--seed S]
+//                    [--gpu] [--card 8800|gx2|gtx280] [--tpb N]
 //
-// Exits nonzero on any backend disagreement, so a tiny configuration doubles
-// as a CTest smoke test (label bench_smoke).
+// --gpu additionally runs every simulated-GPU formulation (algorithms 1-5)
+// through the functional engine and cross-checks its counts end to end; use
+// a small --db, the functional engine is orders of magnitude slower than the
+// CPU backends.  Exits nonzero on any backend disagreement, so a tiny
+// configuration doubles as a CTest smoke test (label bench_smoke).  The
+// block-level algorithms (3/4) under expiry use the documented overlap-rescan
+// approximation and are reported as "approx" instead of being gated.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "bench_support/cli_args.hpp"
 #include "bench_support/paper_setup.hpp"
 #include "common/rng.hpp"
 #include "core/cpu_backend.hpp"
 #include "data/generators.hpp"
+#include "kernels/mining_kernels.hpp"
 
 namespace {
 
@@ -40,6 +49,9 @@ struct Options {
   std::int64_t expiry = 0;
   int repeat = 3;
   std::uint64_t seed = 2009;
+  bool gpu = false;
+  std::string card = "gtx280";
+  int tpb = 32;
   gm::core::Semantics semantics = gm::core::Semantics::kNonOverlappedSubsequence;
 };
 
@@ -67,38 +79,50 @@ std::vector<gm::core::Episode> random_episodes(const gm::core::Alphabet& alphabe
 
 int main(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--db") opt.db_size = std::atoll(next());
-    else if (arg == "--alphabet") opt.alphabet = std::atoi(next());
-    else if (arg == "--episodes") opt.episodes = std::atoi(next());
-    else if (arg == "--level") opt.level = std::atoi(next());
-    else if (arg == "--threads") opt.threads = std::atoi(next());
-    else if (arg == "--expiry") opt.expiry = std::atoll(next());
-    else if (arg == "--repeat") opt.repeat = std::atoi(next());
-    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    else if (arg == "--semantics") {
-      const std::string name = next();
-      if (name == "contig") opt.semantics = gm::core::Semantics::kContiguousRestart;
-      else if (name != "subseq") {
-        std::cerr << "unknown semantics: " << name << "\n";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--db")
+        opt.db_size = gm::bench::parse_int64(arg, next(), 1, 1'000'000'000);
+      else if (arg == "--alphabet") opt.alphabet = gm::bench::parse_int(arg, next(), 1, 255);
+      else if (arg == "--episodes")
+        opt.episodes = gm::bench::parse_int(arg, next(), 1, 10'000'000);
+      else if (arg == "--level") opt.level = gm::bench::parse_int(arg, next(), 1, 255);
+      else if (arg == "--threads") opt.threads = gm::bench::parse_int(arg, next(), 0, 1 << 20);
+      else if (arg == "--expiry")
+        opt.expiry = gm::bench::parse_int64(arg, next(), 0, 1'000'000'000);
+      else if (arg == "--repeat") opt.repeat = gm::bench::parse_int(arg, next(), 1, 1000);
+      else if (arg == "--seed")
+        opt.seed = static_cast<std::uint64_t>(
+            gm::bench::parse_int64(arg, next(), 0, std::numeric_limits<std::int64_t>::max()));
+      else if (arg == "--gpu") opt.gpu = true;
+      else if (arg == "--card") opt.card = next();
+      else if (arg == "--tpb") opt.tpb = gm::bench::parse_int(arg, next(), 1, 1 << 16);
+      else if (arg == "--semantics") {
+        const std::string name = next();
+        if (name == "contig") opt.semantics = gm::core::Semantics::kContiguousRestart;
+        else if (name != "subseq") {
+          std::cerr << "unknown semantics: " << name << "\n";
+          return 2;
+        }
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
         return 2;
       }
-    } else {
-      std::cerr << "unknown option: " << arg << "\n";
-      return 2;
     }
+  } catch (const gm::PreconditionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
-  if (opt.db_size < 1 || opt.alphabet < 1 || opt.alphabet > 255 || opt.episodes < 1 ||
-      opt.level < 1 || opt.level > opt.alphabet || opt.repeat < 1) {
-    std::cerr << "invalid configuration\n";
+  if (opt.level > opt.alphabet) {
+    std::cerr << "invalid configuration: --level exceeds --alphabet\n";
     return 2;
   }
 
@@ -151,6 +175,52 @@ int main(int argc, char** argv) {
     if (std::string(name) == "cpu-single-scan") single_scan_ms = best_ms;
     std::printf("%-20s %12.2f %9.2fx %10s\n", backend->name().c_str(), best_ms,
                 best_ms > 0 ? serial_ms / best_ms : 0.0, agrees ? "yes" : "NO");
+  }
+
+  if (opt.gpu) try {
+    // Every simulated-GPU formulation end to end through the functional
+    // engine.  Exact against the serial reference except algorithms 3/4
+    // under expiry (documented overlap-rescan approximation -> "approx").
+    std::printf("\ngpusim on %s, %d threads/block:\n", opt.card.c_str(), opt.tpb);
+    for (const gm::kernels::Algorithm algorithm : gm::kernels::all_algorithms()) {
+      const std::string label =
+          "gpusim-algo" + std::to_string(gm::kernels::algorithm_number(algorithm));
+      if (gm::kernels::is_block_level(algorithm) &&
+          static_cast<std::int64_t>(opt.tpb) > opt.db_size) {
+        std::printf("%-20s %12s  (skipped: --tpb exceeds --db)\n", label.c_str(), "-");
+        continue;
+      }
+      gm::bench::BackendSpec spec;
+      spec.name = "gpusim";
+      spec.card = opt.card;
+      spec.launch.algorithm = algorithm;
+      spec.launch.threads_per_block = opt.tpb;
+      const auto backend = gm::bench::make_backend(spec);
+
+      double best_ms = 0.0;
+      gm::core::CountResult result;
+      for (int r = 0; r < opt.repeat; ++r) {
+        result = backend->count(request);
+        best_ms = (r == 0) ? result.host_ms : std::min(best_ms, result.host_ms);
+      }
+      const bool approximate =
+          request.expiry.enabled() && gm::kernels::is_block_level(algorithm);
+      const bool agrees = result.counts == reference;
+      if (!approximate) all_agree = all_agree && agrees;
+      std::printf("%-20s %12.2f %9.2fx %10s\n", label.c_str(), best_ms,
+                  best_ms > 0 ? serial_ms / best_ms : 0.0,
+                  approximate ? (agrees ? "yes*" : "approx") : (agrees ? "yes" : "NO"));
+    }
+    if (request.expiry.enabled()) {
+      std::printf("(*/approx: block-level expiry rows use the overlap-rescan approximation)\n");
+    }
+  } catch (const gm::Error& e) {
+    // An unknown --card or an unsupportable --level/--tpb for the GPU
+    // formulations (including DeviceError for launches the card cannot
+    // host, e.g. --tpb beyond the device's block limit) is a bad
+    // invocation, not a backend disagreement.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
 
   if (parallel_ms > 0 && single_scan_ms > 0) {

@@ -6,7 +6,8 @@
 //                                  names from bench::backend_names())
 //     --threads <n>                CPU backend threads, 0 = hw (default 0)
 //     --card <8800|gx2|gtx280>     simulated card         (default gtx280)
-//     --algo <1|2|3|4>             paper algorithm        (default 3)
+//     --algo <1|2|3|4|5>           GPU algorithm          (default 3;
+//                                  5 = block-bucketed single-scan)
 //     --tpb <n>                    threads per block      (default 64)
 //     --support <alpha>            support threshold      (default 0.001)
 //     --max-level <L>              episode length bound   (default 3)
@@ -15,13 +16,17 @@
 //     --cpu                        alias for --backend cpu-serial
 //     --demo                       run on a built-in synthetic dataset
 //
-// Without a dataset argument, reads the dataset format (see
-// data/dataset_io.hpp) from stdin.
+// Numeric flags are parsed with std::from_chars and rejected with an error
+// naming the flag when non-numeric or out of range (std::atoi would silently
+// turn garbage into 0).  Without a dataset argument, reads the dataset
+// format (see data/dataset_io.hpp) from stdin.
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 
+#include "bench_support/cli_args.hpp"
 #include "bench_support/paper_setup.hpp"
 #include "core/miner.hpp"
 #include "data/dataset_io.hpp"
@@ -32,7 +37,7 @@ namespace {
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--backend <name>] [--threads N] [--card 8800|gx2|gtx280]\n"
-         "       [--algo 1..4] [--tpb N] [--support A] [--max-level L] [--expiry W]\n"
+         "       [--algo 1..5] [--tpb N] [--support A] [--max-level L] [--expiry W]\n"
          "       [--semantics subseq|contig] [--cpu] [--demo] [dataset.txt]\n"
          "backends:";
   for (const auto name : gm::bench::backend_names()) out << " " << name;
@@ -63,34 +68,46 @@ int main(int argc, char** argv) {
   std::string semantics_name = "subseq";
   std::string dataset_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
-        std::exit(usage(argv[0]));
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs a value\n";
+          std::exit(usage(argv[0]));
+        }
+        return argv[++i];
+      };
+      if (arg == "--backend") backend_name = next();
+      else if (arg == "--threads") threads = bench::parse_int(arg, next(), 0, 1 << 20);
+      else if (arg == "--card") card = next();
+      else if (arg == "--algo") algo = bench::parse_int(arg, next(), 1, 5);
+      else if (arg == "--tpb") tpb = bench::parse_int(arg, next(), 1, 1 << 16);
+      else if (arg == "--support") support = bench::parse_double(arg, next(), 0.0, 1.0);
+      else if (arg == "--max-level") max_level = bench::parse_int(arg, next(), 0, 255);
+      else if (arg == "--expiry")
+        expiry = bench::parse_int64(arg, next(), 0, std::numeric_limits<std::int64_t>::max());
+      else if (arg == "--semantics") {
+        semantics_name = next();
+        if (semantics_name != "subseq" && semantics_name != "contig") {
+          throw bench::UsageError("--semantics expects 'subseq' or 'contig', got '" +
+                                  semantics_name + "'");
+        }
       }
-      return argv[++i];
-    };
-    if (arg == "--backend") backend_name = next();
-    else if (arg == "--threads") threads = std::atoi(next());
-    else if (arg == "--card") card = next();
-    else if (arg == "--algo") algo = std::atoi(next());
-    else if (arg == "--tpb") tpb = std::atoi(next());
-    else if (arg == "--support") support = std::atof(next());
-    else if (arg == "--max-level") max_level = std::atoi(next());
-    else if (arg == "--expiry") expiry = std::atoll(next());
-    else if (arg == "--semantics") semantics_name = next();
-    else if (arg == "--cpu") backend_name = "cpu-serial";
-    else if (arg == "--demo") demo = true;
-    else if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout, argv[0]);
-      return 0;
+      else if (arg == "--cpu") backend_name = "cpu-serial";
+      else if (arg == "--demo") demo = true;
+      else if (arg == "--help" || arg == "-h") {
+        print_usage(std::cout, argv[0]);
+        return 0;
+      }
+      else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
+      else dataset_path = arg;
     }
-    else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
-    else dataset_path = arg;
+  } catch (const gm::PreconditionError& e) {
+    // A malformed flag value is a bad invocation (exit 2), not a data error.
+    std::cerr << "error: " << e.what() << "\n";
+    return usage(argv[0]);
   }
-  if (algo < 1 || algo > 4 || tpb < 1 || max_level < 0) return usage(argv[0]);
 
   try {
     data::Dataset dataset;
@@ -111,8 +128,6 @@ int main(int argc, char** argv) {
     config.expiry = core::ExpiryPolicy{expiry};
     if (semantics_name == "contig") {
       config.semantics = core::Semantics::kContiguousRestart;
-    } else if (semantics_name != "subseq") {
-      return usage(argv[0]);
     }
 
     bench::BackendSpec spec;

@@ -1,0 +1,85 @@
+// Checked command-line number parsing shared by the CLI-facing drivers
+// (examples/gminer_cli, bench/backend_shootout).
+//
+// std::atoi/atof silently turn garbage into 0 — "--tpb x64" would launch one
+// thread per block and "--support 0.01%" would mine everything.  These
+// helpers parse with std::from_chars, require the whole token to be
+// consumed, and reject out-of-range values, throwing gm::PreconditionError
+// with a message that names the offending flag so drivers can print it and
+// exit with a usage error.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace gm::bench {
+
+/// A malformed command-line value.  Carries the plain message (no
+/// source-location decoration): it is printed verbatim to the terminal next
+/// to the usage text.
+class UsageError : public gm::PreconditionError {
+ public:
+  explicit UsageError(const std::string& what) : PreconditionError(what) {}
+};
+
+namespace detail {
+
+template <typename T>
+[[nodiscard]] T parse_number(std::string_view flag, std::string_view text) {
+  T value{};
+  const char* const first = text.data();
+  const char* const last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw UsageError(std::string(flag) + ": value '" + std::string(text) +
+                     "' is out of range");
+  }
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    throw UsageError(std::string(flag) + " expects a number, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+template <typename T>
+void check_range(std::string_view flag, T value, T min_value, T max_value) {
+  if (value < min_value || value > max_value) {
+    throw UsageError(std::string(flag) + " expects a value in [" + std::to_string(min_value) +
+                     ", " + std::to_string(max_value) + "], got " + std::to_string(value));
+  }
+}
+
+}  // namespace detail
+
+/// Parse `text` as an int in [min_value, max_value].
+[[nodiscard]] inline int parse_int(std::string_view flag, std::string_view text, int min_value,
+                                   int max_value) {
+  const int value = detail::parse_number<int>(flag, text);
+  detail::check_range(flag, value, min_value, max_value);
+  return value;
+}
+
+/// Parse `text` as an int64 in [min_value, max_value].
+[[nodiscard]] inline std::int64_t parse_int64(std::string_view flag, std::string_view text,
+                                              std::int64_t min_value, std::int64_t max_value) {
+  const std::int64_t value = detail::parse_number<std::int64_t>(flag, text);
+  detail::check_range(flag, value, min_value, max_value);
+  return value;
+}
+
+/// Parse `text` as a double in [min_value, max_value] (rejects NaN by range).
+[[nodiscard]] inline double parse_double(std::string_view flag, std::string_view text,
+                                         double min_value, double max_value) {
+  const double value = detail::parse_number<double>(flag, text);
+  if (!(value >= min_value && value <= max_value)) {
+    throw UsageError(std::string(flag) + " expects a value in [" + std::to_string(min_value) +
+                     ", " + std::to_string(max_value) + "], got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace gm::bench

@@ -42,6 +42,12 @@ class CountingBackend {
 
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual CountResult count(const CountRequest& request) = 0;
+
+  /// Largest episode level this backend can count, or 0 for unbounded.  The
+  /// miner checks this before issuing a request so a capped backend (the GPU
+  /// kernels' frame-register episode staging stops at kernels::kMaxLevel)
+  /// surfaces a reportable gm::Error instead of failing mid-launch.
+  [[nodiscard]] virtual int max_level() const { return 0; }
 };
 
 }  // namespace gm::core

@@ -18,6 +18,16 @@ MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alph
   std::vector<Episode> candidates = level1_candidates(alphabet);
   int level = 1;
   while (!candidates.empty() && (config.max_level == 0 || level <= config.max_level)) {
+    // Surface a capped backend (e.g. the GPU kernels' kMaxLevel episode
+    // staging bound) as a reportable error before issuing the request,
+    // instead of an abort deep inside the kernel layer.
+    if (const int cap = backend.max_level(); cap > 0 && level > cap) {
+      gm::raise_precondition("backend '" + backend.name() + "' counts episodes only up to level " +
+                             std::to_string(cap) + ", but mining reached level " +
+                             std::to_string(level) +
+                             " — lower the level cap (--max-level) or switch to a CPU backend");
+    }
+
     CountRequest request;
     request.database = database;
     request.episodes = candidates;  // view, not a per-level deep copy

@@ -49,6 +49,28 @@ inline constexpr int kFoldStepInstr = 4;
 /// Boundary-rescan loop body (expiry mode) per window symbol.
 inline constexpr int kRescanInstr = 4;
 
+// --- Algorithm 5 (block-bucketed single-scan) ------------------------------
+
+/// Episode automata each thread owns (the frame/"register file" budget that
+/// fixes a block's slot capacity at threads_per_block * this).  Eight keeps
+/// the waiting-symbol set register-resident on CC 1.x-class hardware while
+/// still amortizing one database read over many automata.
+inline constexpr int kBucketEpisodesPerThread = 8;
+
+/// Per scanned symbol per thread: loop control, deadline-heap peek and
+/// bucket-head lookup.
+inline constexpr int kBucketProbeInstr = 3;
+
+/// Per drained bucket entry: list pop, generation-tag check, branch.
+inline constexpr int kBucketDrainInstr = 3;
+
+/// Per (re-)filing of an automaton into the bucket of its next awaited
+/// symbol (including the initial filing under episode[0]).
+inline constexpr int kBucketFileInstr = 2;
+
+/// Per expiry-deadline min-heap push or pop.
+inline constexpr int kExpiryHeapInstr = 4;
+
 /// Registers per thread declared to the occupancy calculator.
 inline constexpr int kRegistersPerThread = 10;
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/error.hpp"
+
 namespace gm::kernels {
 
 SimGpuBackend::SimGpuBackend(gpusim::DeviceSpec device, MiningLaunchParams params,
@@ -22,6 +24,11 @@ core::CountResult SimGpuBackend::count(const core::CountRequest& request) {
   MiningLaunchParams params = params_;
   params.semantics = request.semantics;
   params.expiry = request.expiry;
+
+  // Reject unsupportable requests (level > kMaxLevel, bad geometry) with an
+  // actionable gm::Error before any device staging happens.
+  gm::expects(!request.episodes.empty(), "count request carries no episodes");
+  validate_launch_params(params, request.episodes.front().level());
 
   core::Sequence database(request.database.begin(), request.database.end());
   DeviceProblem problem(database, request.episodes, params);

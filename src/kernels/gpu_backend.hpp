@@ -18,6 +18,9 @@ class SimGpuBackend final : public core::CountingBackend {
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] core::CountResult count(const core::CountRequest& request) override;
+  /// The kernels stage episodes into a fixed frame-register array, capping
+  /// the level at kernels::kMaxLevel.
+  [[nodiscard]] int max_level() const override { return kMaxLevel; }
 
   [[nodiscard]] const gpusim::DeviceSpec& device() const noexcept { return engine_.spec(); }
   [[nodiscard]] const MiningLaunchParams& params() const noexcept { return params_; }

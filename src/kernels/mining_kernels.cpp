@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <numeric>
+#include <queue>
 #include <span>
 
 #include "common/error.hpp"
@@ -22,10 +24,13 @@ struct Views {
   gpusim::GlobalView<Symbol> episodes;      ///< charged device accesses
   std::span<const Symbol> episodes_host;    ///< zero-cost host mirror
   gpusim::GlobalView<std::uint32_t> counts;
-  /// Block-level transfer tables, blocks x threads x level entries in device
-  /// memory (count<<8 | exit_state per entry).
+  /// Block-level (algorithms 3/4): transfer tables, blocks x threads x level
+  /// entries (count<<8 | exit_state per entry).  Bucketed (algorithm 5): one
+  /// automaton record per episode slot (state<<8 | awaited symbol), re-read
+  /// and written back on every bucket drain.
   gpusim::GlobalView<std::uint32_t> scratch;
   std::int64_t db_size = 0;
+  std::int64_t episode_count = 0;  ///< real episodes (bucketed slot range)
   int level = 1;
   core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
   core::ExpiryPolicy expiry = {};
@@ -404,6 +409,203 @@ gpusim::KernelTask algo4_kernel(ThreadCtx& ctx, Views v) {
   co_return;
 }
 
+// --------------------------------------------------------------------------
+// Algorithm 5: block-bucketed single-scan.
+// --------------------------------------------------------------------------
+
+/// One owned episode automaton, flattened for the bucket index.  `gen`
+/// invalidates bucket entries left behind by expiry re-bucketing.
+struct BucketOwned {
+  std::span<const Symbol> episode;
+  std::int64_t slot = 0;  ///< global episode slot (sorted order)
+  std::int64_t first_pos = 0;
+  std::uint64_t gen = 0;
+  std::uint32_t count = 0;
+  int state = 0;
+};
+
+struct BucketEntry {
+  std::uint32_t u = 0;  ///< index into the thread's owned list
+  std::uint64_t gen = 0;
+};
+
+/// Pending expiry deadline, validated on pop against the live first_pos.
+struct BucketDeadline {
+  std::int64_t at = 0;
+  std::uint32_t u = 0;
+  friend bool operator>(const BucketDeadline& a, const BucketDeadline& b) {
+    return a.at > b.at;
+  }
+};
+
+/// The automaton record word written back to device scratch per drain.
+std::uint32_t bucket_state_word(const BucketOwned& o) {
+  return (static_cast<std::uint32_t>(o.state) << 8) |
+         o.episode[static_cast<std::size_t>(o.state)];
+}
+
+// Device port of the host single-scan engine (core/multi_counter).  The
+// block owns the contiguous slot range of the first-symbol-sorted episode
+// list that launch_geometry assigned it, thread `tid` owns the interleaved
+// sub-slice {begin+tid, begin+tid+t, ...}, and every owned automaton is
+// filed in a bucket keyed by the symbol it currently awaits, so per-symbol
+// work is proportional to bucket occupancy, not to the episode count.  The
+// database is staged through shared memory in algorithm-2 fashion (every
+// thread reads every symbol, so the buffered path wins for the same reason
+// it does there).  Automaton records (state | awaited symbol) live in device
+// scratch, one word per episode slot, fetched and written back per drain;
+// bucket entry lists, generation tags and the expiry deadline heap live in
+// the thread's frame ("local memory"), charged via the kBucket*/kExpiryHeap
+// constants.  Expiry mirrors the host engine exactly: lazy deadlines on a
+// min-heap, reset-and-re-bucket under episode[0] when a match can no longer
+// finish, generation tags invalidating the stale entry left in the old
+// bucket.  Contiguous-restart semantics fall back to a dense per-thread scan
+// (its mismatch edges let any symbol transition any in-flight automaton, so
+// a waiting-symbol index cannot skip work) — still one database pass.
+// Because the database is never chunked, counts are bit-exact against the
+// serial oracle for both semantics and every expiry window.
+gpusim::KernelTask algo5_kernel(ThreadCtx& ctx, Views v) {
+  ctx.declare_texture_pattern(
+      {TexAccessKind::kCoalescedStream, static_cast<double>(v.db_size), /*sharing_key=*/5});
+
+  const int t = ctx.block_dim();
+  const int tid = ctx.thread_idx();
+  const int L = v.level;
+  const Range slots = thread_chunk(v.episode_count, ctx.grid_dim(), ctx.block_idx());
+  const bool dense = v.semantics == core::Semantics::kContiguousRestart;
+
+  // Deadlines are computed as first_pos + window; clamp huge windows to the
+  // database size before they can overflow.  Any window >= |DB| behaves
+  // identically (mirrors core::count_all_single_scan).
+  core::ExpiryPolicy expiry = v.expiry;
+  if (expiry.enabled()) {
+    expiry.window = std::min(expiry.window, v.db_size);
+  }
+
+  // Stage owned episodes (device loads; symbol data through the host
+  // mirror), then file each automaton under its first symbol.
+  std::vector<BucketOwned> owned;
+  for (std::int64_t s = slots.begin + tid; s < slots.end; s += t) {
+    BucketOwned o;
+    o.slot = s;
+    const std::int64_t off = s * L;
+    for (int k = 0; k < L; ++k) {
+      (void)v.episodes.load(ctx, static_cast<std::size_t>(off + k));
+    }
+    o.episode = v.episodes_host.subspan(static_cast<std::size_t>(off),
+                                        static_cast<std::size_t>(L));
+    owned.push_back(o);
+  }
+
+  // Dense fallback state (contiguous restart).
+  std::vector<EpisodeAutomaton> dense_automata;
+  // Bucketed state: a direct-mapped table covers every 8-bit alphabet.
+  std::vector<std::vector<BucketEntry>> buckets;
+  std::priority_queue<BucketDeadline, std::vector<BucketDeadline>, std::greater<>>
+      deadlines;
+  std::vector<BucketEntry> drain;
+  if (dense) {
+    dense_automata.reserve(owned.size());
+    for (const BucketOwned& o : owned) {
+      dense_automata.emplace_back(o.episode, v.semantics, v.expiry);
+    }
+  } else {
+    buckets.resize(256);
+    for (std::uint32_t u = 0; u < owned.size(); ++u) {
+      ctx.charge(kBucketFileInstr);
+      buckets[owned[u].episode[0]].push_back({u, 0});
+    }
+  }
+
+  gpusim::SharedArray<Symbol> buffer(ctx, static_cast<std::size_t>(v.buffer_bytes), 0);
+  const std::int64_t B = v.buffer_bytes;
+  for (std::int64_t base = 0; base < v.db_size; base += B) {
+    const std::int64_t n = std::min<std::int64_t>(B, v.db_size - base);
+    for (std::int64_t j = tid; j < n; j += t) {
+      ctx.charge(kBufferCopyInstr);
+      buffer.store(static_cast<std::size_t>(j),
+                   v.db_tex.fetch(ctx, static_cast<std::size_t>(base + j)));
+    }
+    co_await ctx.syncthreads();
+
+    if (!owned.empty()) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const Symbol c = buffer.load(static_cast<std::size_t>(j));
+        const std::int64_t pos = base + j;
+        if (dense) {
+          ctx.charge(kBufferedScanInstr);
+          for (std::uint32_t u = 0; u < owned.size(); ++u) {
+            ctx.charge(kAutomatonStepInstr);
+            if (dense_automata[u].step(c, pos)) ++owned[u].count;
+          }
+          continue;
+        }
+
+        ctx.charge(kBucketProbeInstr);
+        // Expire matches that can no longer finish by this position: the
+        // serial automaton resets them at step time, so they must be back in
+        // their episode[0] bucket before this symbol is dispatched.
+        if (expiry.enabled()) {
+          while (!deadlines.empty() && deadlines.top().at <= pos) {
+            const BucketDeadline d = deadlines.top();
+            deadlines.pop();
+            ctx.charge(kExpiryHeapInstr);
+            BucketOwned& o = owned[d.u];
+            if (o.state > 0 && o.first_pos + expiry.window == d.at) {
+              o.state = 0;
+              ++o.gen;  // the entry filed under the old awaited symbol dies
+              v.scratch.store(ctx, static_cast<std::size_t>(o.slot), bucket_state_word(o));
+              ctx.charge(kBucketFileInstr);
+              buckets[o.episode[0]].push_back({d.u, o.gen});
+            }
+          }
+        }
+
+        auto& bucket = buckets[c];
+        if (bucket.empty()) continue;
+        // Swap the bucket out before advancing: an automaton whose next
+        // awaited symbol is also `c` (repeated-symbol episode) must re-file
+        // for the NEXT occurrence, not be stepped twice on this one.
+        drain.swap(bucket);
+        for (const BucketEntry entry : drain) {
+          ctx.charge(kBucketDrainInstr);
+          BucketOwned& o = owned[entry.u];
+          if (o.gen != entry.gen) continue;  // stale: expired/re-bucketed since
+          (void)v.scratch.load(ctx, static_cast<std::size_t>(o.slot));
+          if (o.state == 0) {
+            o.first_pos = pos;
+            // Level-1 episodes complete in this same step, so a deadline
+            // could never fire usefully — don't flood the heap.
+            if (expiry.enabled() && o.episode.size() > 1) {
+              ctx.charge(kExpiryHeapInstr);
+              deadlines.push({pos + expiry.window, entry.u});
+            }
+          }
+          ctx.charge(kAutomatonStepInstr);
+          ++o.state;
+          ++o.gen;
+          if (o.state == static_cast<int>(o.episode.size())) {
+            ++o.count;
+            o.state = 0;
+          }
+          v.scratch.store(ctx, static_cast<std::size_t>(o.slot), bucket_state_word(o));
+          ctx.charge(kBucketFileInstr);
+          buckets[o.episode[static_cast<std::size_t>(o.state)]].push_back(
+              {entry.u, o.gen});
+        }
+        drain.clear();
+      }
+    }
+    co_await ctx.syncthreads();
+  }
+
+  for (const BucketOwned& o : owned) {
+    ctx.charge(1);
+    v.counts.store(ctx, static_cast<std::size_t>(o.slot), o.count);
+  }
+  co_return;
+}
+
 }  // namespace
 
 std::string to_string(Algorithm algorithm) {
@@ -412,6 +614,7 @@ std::string to_string(Algorithm algorithm) {
     case Algorithm::kThreadBuffered: return "algo2-thread-buffered";
     case Algorithm::kBlockTexture: return "algo3-block-texture";
     case Algorithm::kBlockBuffered: return "algo4-block-buffered";
+    case Algorithm::kBlockBucketed: return "algo5-block-bucketed";
   }
   return "?";
 }
@@ -423,21 +626,62 @@ bool is_block_level(Algorithm algorithm) {
 }
 
 bool is_buffered(Algorithm algorithm) {
-  return algorithm == Algorithm::kThreadBuffered || algorithm == Algorithm::kBlockBuffered;
+  return algorithm == Algorithm::kThreadBuffered || algorithm == Algorithm::kBlockBuffered ||
+         algorithm == Algorithm::kBlockBucketed;
 }
 
+bool is_bucketed(Algorithm algorithm) { return algorithm == Algorithm::kBlockBucketed; }
+
 const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> algorithms = {
+      Algorithm::kThreadTexture, Algorithm::kThreadBuffered, Algorithm::kBlockTexture,
+      Algorithm::kBlockBuffered, Algorithm::kBlockBucketed};
+  return algorithms;
+}
+
+const std::vector<Algorithm>& paper_algorithms() {
   static const std::vector<Algorithm> algorithms = {
       Algorithm::kThreadTexture, Algorithm::kThreadBuffered, Algorithm::kBlockTexture,
       Algorithm::kBlockBuffered};
   return algorithms;
 }
 
+void validate_launch_params(const MiningLaunchParams& params, int level) {
+  const int number = static_cast<int>(params.algorithm);
+  if (number < 1 || number > 5) {
+    gm::raise_precondition("unknown algorithm number " + std::to_string(number) +
+                           " (expected 1..5)");
+  }
+  if (params.threads_per_block < 1) {
+    gm::raise_precondition("threads_per_block must be >= 1, got " +
+                           std::to_string(params.threads_per_block));
+  }
+  if (is_buffered(params.algorithm) && params.buffer_bytes < 1) {
+    gm::raise_precondition(to_string(params.algorithm) +
+                           " stages the database through shared memory and needs "
+                           "buffer_bytes >= 1, got " +
+                           std::to_string(params.buffer_bytes));
+  }
+  if (level < 1) {
+    gm::raise_precondition("episode level must be >= 1, got " + std::to_string(level));
+  }
+  if (level > kMaxLevel) {
+    gm::raise_precondition(
+        "episode level " + std::to_string(level) + " exceeds the GPU kernel limit (kMaxLevel = " +
+        std::to_string(kMaxLevel) +
+        ", the frame-register episode staging bound); count with a CPU backend or lower the "
+        "level cap");
+  }
+}
+
 LaunchGeometry launch_geometry(Algorithm algorithm, std::int64_t episode_count, int level,
                                int threads_per_block, int buffer_bytes) {
   gm::expects(episode_count > 0, "need at least one episode");
   gm::expects(threads_per_block > 0, "need at least one thread per block");
-  gm::expects(level >= 1 && level <= kMaxLevel, "level outside kernel support");
+  if (level < 1 || level > kMaxLevel) {
+    gm::raise_precondition("episode level " + std::to_string(level) +
+                           " outside kernel support [1, " + std::to_string(kMaxLevel) + "]");
+  }
 
   LaunchGeometry geo;
   if (is_block_level(algorithm)) {
@@ -446,6 +690,15 @@ LaunchGeometry launch_geometry(Algorithm algorithm, std::int64_t episode_count, 
     // Transfer tables live in device memory; shared memory holds only the
     // staging buffer (Algorithm 4).
     geo.shared_mem_per_block = is_buffered(algorithm) ? buffer_bytes : 0;
+  } else if (is_bucketed(algorithm)) {
+    // Each block owns up to threads_per_block * kBucketEpisodesPerThread
+    // episode slots of the first-symbol-sorted list; threads take interleaved
+    // slices, so no padding is needed (a thread may own zero slots).
+    const std::int64_t capacity =
+        static_cast<std::int64_t>(threads_per_block) * kBucketEpisodesPerThread;
+    geo.blocks = (episode_count + capacity - 1) / capacity;
+    geo.padded_episodes = episode_count;
+    geo.shared_mem_per_block = buffer_bytes;
   } else {
     geo.blocks = (episode_count + threads_per_block - 1) / threads_per_block;
     geo.padded_episodes = geo.blocks * threads_per_block;
@@ -454,24 +707,72 @@ LaunchGeometry launch_geometry(Algorithm algorithm, std::int64_t episode_count, 
   return geo;
 }
 
+namespace {
+
+/// Device scratch words a formulation needs (see Views::scratch).
+std::size_t scratch_words(const MiningLaunchParams& params, const core::PackedEpisodes& packed) {
+  if (is_block_level(params.algorithm)) {
+    return static_cast<std::size_t>(packed.episode_count) *
+           static_cast<std::size_t>(params.threads_per_block) *
+           static_cast<std::size_t>(packed.level);
+  }
+  if (is_bucketed(params.algorithm)) {
+    return static_cast<std::size_t>(packed.episode_count);
+  }
+  return 1;
+}
+
+}  // namespace
+
+core::PackedEpisodes DeviceProblem::stage_episodes(std::span<const core::Episode> episodes,
+                                                   const MiningLaunchParams& params,
+                                                   std::vector<std::int64_t>& order) {
+  gm::expects(!episodes.empty(), "cannot pack an empty episode list");
+  const int level = episodes.front().level();
+  validate_launch_params(params, level);
+
+  if (!is_bucketed(params.algorithm)) {
+    const LaunchGeometry geo =
+        launch_geometry(params.algorithm, static_cast<std::int64_t>(episodes.size()), level,
+                        params.threads_per_block, params.buffer_bytes);
+    return core::pack_episodes(episodes, geo.padded_episodes);
+  }
+
+  // Bucketed: pack in first-symbol order so every block's contiguous slot
+  // range covers a contiguous symbol range — the block's waiting buckets at
+  // scan start and after every expiry reset.  `order` records sorted slot ->
+  // caller index so extract_counts can hand results back unpermuted.
+  order.resize(episodes.size());
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return episodes[static_cast<std::size_t>(a)].at(0) <
+           episodes[static_cast<std::size_t>(b)].at(0);
+  });
+
+  core::PackedEpisodes packed;
+  packed.level = level;
+  packed.episode_count = static_cast<std::int64_t>(episodes.size());
+  packed.padded_count = packed.episode_count;
+  packed.symbols.reserve(static_cast<std::size_t>(packed.episode_count) *
+                         static_cast<std::size_t>(level));
+  for (const std::int64_t i : order) {
+    const auto& episode = episodes[static_cast<std::size_t>(i)];
+    gm::expects(episode.level() == level, "all packed episodes must share one level");
+    packed.symbols.insert(packed.symbols.end(), episode.symbols().begin(),
+                          episode.symbols().end());
+  }
+  return packed;
+}
+
 DeviceProblem::DeviceProblem(const core::Sequence& database,
                              std::span<const core::Episode> episodes,
                              const MiningLaunchParams& params)
     : params_(params),
-      packed_(core::pack_episodes(
-          episodes, launch_geometry(params.algorithm,
-                                    static_cast<std::int64_t>(episodes.size()),
-                                    episodes.empty() ? 1 : episodes.front().level(),
-                                    params.threads_per_block, params.buffer_bytes)
-                        .padded_episodes)),
+      packed_(stage_episodes(episodes, params, order_)),
       db_(std::span<const Symbol>(database)),
       episodes_(std::span<const Symbol>(packed_.symbols)),
       counts_(static_cast<std::size_t>(packed_.padded_count)),
-      scratch_(is_block_level(params.algorithm)
-                   ? static_cast<std::size_t>(packed_.episode_count) *
-                         static_cast<std::size_t>(params.threads_per_block) *
-                         static_cast<std::size_t>(packed_.level)
-                   : 1),
+      scratch_(scratch_words(params, packed_)),
       db_size_(static_cast<std::int64_t>(database.size())) {
   gm::expects(!database.empty(), "database must be non-empty");
   for (const Symbol s : database) {
@@ -489,9 +790,6 @@ DeviceProblem::DeviceProblem(const core::Sequence& database,
     gm::expects(params.threads_per_block <= db_size_,
                 "block-level kernels need at least one symbol per thread");
   }
-  if (is_buffered(params.algorithm)) {
-    gm::expects(params.buffer_bytes > 0, "buffered kernels need a buffer");
-  }
 }
 
 gpusim::KernelFn DeviceProblem::kernel() {
@@ -502,6 +800,7 @@ gpusim::KernelFn DeviceProblem::kernel() {
   v.counts = counts_.global();
   v.scratch = scratch_.global();
   v.db_size = db_size_;
+  v.episode_count = packed_.episode_count;
   v.level = packed_.level;
   v.semantics = params_.semantics;
   v.expiry = params_.expiry;
@@ -516,16 +815,21 @@ gpusim::KernelFn DeviceProblem::kernel() {
       return [v](ThreadCtx& ctx) { return algo3_kernel(ctx, v); };
     case Algorithm::kBlockBuffered:
       return [v](ThreadCtx& ctx) { return algo4_kernel(ctx, v); };
+    case Algorithm::kBlockBucketed:
+      return [v](ThreadCtx& ctx) { return algo5_kernel(ctx, v); };
   }
   gm::raise_invariant("unhandled algorithm");
 }
 
 std::vector<std::int64_t> DeviceProblem::extract_counts() const {
-  std::vector<std::int64_t> out;
-  out.reserve(static_cast<std::size_t>(packed_.episode_count));
+  std::vector<std::int64_t> out(static_cast<std::size_t>(packed_.episode_count), 0);
   const auto host = counts_.host();
   for (std::int64_t i = 0; i < packed_.episode_count; ++i) {
-    out.push_back(static_cast<std::int64_t>(host[static_cast<std::size_t>(i)]));
+    // Bucketed staging sorted the episodes by first symbol; hand counts back
+    // in the caller's order.
+    const std::int64_t caller = order_.empty() ? i : order_[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(caller)] =
+        static_cast<std::int64_t>(host[static_cast<std::size_t>(i)]);
   }
   return out;
 }

@@ -1,5 +1,5 @@
-// The paper's four GPU algorithms (section 3.3), written against the gpusim
-// kernel API:
+// The paper's four GPU algorithms (section 3.3) plus the bucket-indexed
+// fifth formulation, written against the gpusim kernel API:
 //
 //   Algorithm 1  thread-level, texture     one thread : one episode
 //   Algorithm 2  thread-level, buffered    one thread : one episode, DB staged
@@ -8,6 +8,10 @@
 //                                          split the DB, spanning fix + sum
 //   Algorithm 4  block-level,  buffered    one block : one episode, threads
 //                                          split each staged buffer
+//   Algorithm 5  block-bucketed,           one block : a contiguous
+//                single-scan, buffered     first-symbol range of episodes;
+//                                          threads drain waiting-automata
+//                                          buckets per scanned symbol
 //
 // Thread-level kernels pad the episode list so every thread owns a slot
 // (Mars-style record padding; padded threads scan with a sentinel episode,
@@ -15,6 +19,17 @@
 // kernels recover boundary-spanning occurrences (paper Figure 5) exactly:
 // without expiry via automaton transfer-function composition, with expiry via
 // boundary-window rescans (exact because expiry bounds the occurrence span).
+//
+// Algorithm 5 is the device-side port of the host single-scan engine
+// (core/multi_counter): episodes are sorted by first symbol so each block
+// owns a contiguous symbol range's waiting-automata buckets, threads own
+// interleaved slices of the block's episodes, and every automaton is filed
+// under the symbol it currently awaits, so per-symbol device work scales with
+// bucket occupancy (|episodes|/|alphabet| in expectation) instead of
+// |episodes|.  It never chunks the database, so it is bit-exact against the
+// serial oracle for both semantics and every expiry window (expiry uses the
+// host engine's lazy deadlines + generation-tagged re-bucketing; contiguous
+// restart falls back to a dense per-thread scan, still one database pass).
 #pragma once
 
 #include <cstdint>
@@ -35,14 +50,21 @@ enum class Algorithm {
   kThreadBuffered = 2,
   kBlockTexture = 3,
   kBlockBuffered = 4,
+  kBlockBucketed = 5,
 };
 
 [[nodiscard]] std::string to_string(Algorithm algorithm);
 [[nodiscard]] int algorithm_number(Algorithm algorithm);
+/// One block per episode with threads splitting the database (Algorithms 3/4).
 [[nodiscard]] bool is_block_level(Algorithm algorithm);
+/// Stages the database through shared memory (Algorithms 2/4/5).
 [[nodiscard]] bool is_buffered(Algorithm algorithm);
-/// All four algorithms in paper order.
+/// Bucket-indexed single-scan formulation (Algorithm 5).
+[[nodiscard]] bool is_bucketed(Algorithm algorithm);
+/// Every implemented formulation, in algorithm-number order.
 [[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+/// The paper's original four formulations (figure/conclusion reproductions).
+[[nodiscard]] const std::vector<Algorithm>& paper_algorithms();
 
 /// Maximum episode level the kernels support (frame-register episode copy).
 inline constexpr int kMaxLevel = 8;
@@ -54,6 +76,14 @@ struct MiningLaunchParams {
   core::ExpiryPolicy expiry = {};
   int buffer_bytes = kDefaultBufferBytes;  ///< buffered algorithms only
 };
+
+/// Validate a launch configuration against an episode level *before* any
+/// device staging happens.  Throws gm::PreconditionError with an actionable
+/// message (naming the offending value and the kMaxLevel cap) instead of
+/// letting the request trip an invariant deep inside the kernel layer.  Every
+/// kernel-layer entry point (DeviceProblem, run_mining_kernel, the workload
+/// models, SimGpuBackend) funnels through this check.
+void validate_launch_params(const MiningLaunchParams& params, int level);
 
 /// A counting problem staged into simulated device memory, ready to launch.
 ///
@@ -69,11 +99,22 @@ class DeviceProblem {
   [[nodiscard]] const core::PackedEpisodes& packed() const noexcept { return packed_; }
   [[nodiscard]] const MiningLaunchParams& params() const noexcept { return params_; }
 
-  /// Per-episode counts (real episodes only) after the kernel ran.
+  /// Per-episode counts (real episodes only, in the caller's original
+  /// episode order) after the kernel ran.
   [[nodiscard]] std::vector<std::int64_t> extract_counts() const;
 
  private:
+  /// Validates, then packs the episode list for the device.  The bucketed
+  /// formulation packs in first-symbol-sorted order (so each block owns a
+  /// contiguous symbol range of initial waiting buckets) and records the
+  /// permutation in `order` (sorted slot -> original index); the other
+  /// formulations leave `order` empty (identity).
+  static core::PackedEpisodes stage_episodes(std::span<const core::Episode> episodes,
+                                             const MiningLaunchParams& params,
+                                             std::vector<std::int64_t>& order);
+
   MiningLaunchParams params_;
+  std::vector<std::int64_t> order_;  ///< bucketed: sorted slot -> caller index
   core::PackedEpisodes packed_;
   gpusim::DeviceBuffer<core::Symbol> db_;
   gpusim::DeviceBuffer<core::Symbol> episodes_;
@@ -96,6 +137,10 @@ struct MiningRun {
 
 /// The launch geometry a given problem size produces (shared by the kernels
 /// and the analytic workload models).
+///
+/// Bucketed (Algorithm 5): each block owns up to
+/// threads_per_block * kBucketEpisodesPerThread episode slots, so the grid
+/// scales with |episodes| / capacity rather than |episodes|; no padding.
 struct LaunchGeometry {
   std::int64_t blocks = 0;
   std::int64_t padded_episodes = 0;  ///< thread-level: episodes incl. padding

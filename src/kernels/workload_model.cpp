@@ -348,6 +348,90 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
       {TexAccessKind::kCoalescedStream, static_cast<double>(s.db_size), /*sharing_key=*/4});
 }
 
+// Mirror of algo5_kernel for a block owning `slots_in_block` episode slots
+// (thread `lane` owns copy_count(slots_in_block, t, lane) of them).  Exact
+// for the dense contiguous-restart path; expectation over a uniform stream
+// for the bucketed path (see the header comment).
+BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t,
+                         std::int64_t slots_in_block) {
+  const std::int64_t B = s.params.buffer_bytes;
+  const int L = s.level;
+  const double A = static_cast<double>(s.alphabet_size);
+  const bool dense = s.params.semantics == gm::core::Semantics::kContiguousRestart;
+  const bool expiry = s.params.expiry.enabled();
+  BlockModel block(t, dev.warp_size);
+
+  const auto owned_of = [&](int lane) {
+    return static_cast<double>(copy_count(slots_in_block, t, lane));
+  };
+
+  bool first = true;
+  for (std::int64_t base = 0; base < s.db_size; base += B) {
+    const std::int64_t n = std::min<std::int64_t>(B, s.db_size - base);
+    const bool upfront = first;
+    first = false;
+    // Load segment (+ one-time episode staging and initial bucket filing).
+    block.segment(
+        [&, n, upfront](int lane) {
+          LaneTotals lt;
+          if (upfront) {
+            const double owned = owned_of(lane);
+            lt.instr += owned * L;
+            lt.glob += owned * L;
+            lt.glob_bytes += owned * L;
+            if (!dense) lt.instr += owned * kBucketFileInstr;
+          }
+          const auto c = static_cast<double>(copy_count(n, t, lane));
+          lt.instr += c * (kBufferCopyInstr + 2);
+          lt.tex += c;
+          lt.shared += c;
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+    // Scan segment: threads with no automata skip the whole buffer.
+    block.segment(
+        [&, n](int lane) {
+          LaneTotals lt;
+          const double owned = owned_of(lane);
+          if (owned == 0) return lt;
+          const auto N = static_cast<double>(n);
+          lt.shared += N;
+          if (dense) {
+            lt.instr += N * (kBufferedScanInstr + 1 + owned * kAutomatonStepInstr);
+          } else {
+            // Expected drains: every automaton awaits exactly one symbol, so
+            // each position hits a given automaton's bucket w.p. 1/alphabet.
+            const double drains = owned * N / A;
+            lt.instr += N * (kBucketProbeInstr + 1) +
+                        drains * (kBucketDrainInstr + kAutomatonStepInstr +
+                                  kBucketFileInstr + 2);
+            lt.glob += 2 * drains;
+            lt.glob_bytes += 8 * drains;
+            if (expiry && L > 1) {
+              // First-order expiry term: one deadline push per match start
+              // (~drains / L) plus its eventual pop.
+              lt.instr += 2.0 * kExpiryHeapInstr * drains / L;
+            }
+          }
+          return lt;
+        },
+        /*ends_with_sync=*/true);
+  }
+  // Final count stores.
+  block.segment(
+      [&](int lane) {
+        LaneTotals lt;
+        const double owned = owned_of(lane);
+        lt.instr = 2 * owned;
+        lt.glob = owned;
+        lt.glob_bytes = 4 * owned;
+        return lt;
+      },
+      /*ends_with_sync=*/false);
+  return block.finish(
+      {TexAccessKind::kCoalescedStream, static_cast<double>(s.db_size), /*sharing_key=*/5});
+}
+
 }  // namespace
 
 gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec) {
@@ -365,21 +449,36 @@ gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec) {
 gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const WorkloadSpec& spec) {
   gm::expects(spec.db_size > 0, "database must be non-empty");
   gm::expects(spec.episode_count > 0, "need at least one episode");
-  gm::expects(spec.level >= 1 && spec.level <= kMaxLevel, "level outside kernel support");
+  validate_launch_params(spec.params, spec.level);
 
   const int t = spec.params.threads_per_block;
+  const LaunchGeometry geo =
+      launch_geometry(spec.params.algorithm, spec.episode_count, spec.level,
+                      spec.params.threads_per_block, spec.params.buffer_bytes);
+  KernelProfile profile;
+
+  if (is_bucketed(spec.params.algorithm)) {
+    gm::expects(spec.alphabet_size >= 1 && spec.alphabet_size <= 255,
+                "bucketed model needs an alphabet size in [1, 255]");
+    // Blocks own thread_chunk slices of the episode list: the first
+    // `extra` blocks carry one slot more than the rest.
+    const std::int64_t base = spec.episode_count / geo.blocks;
+    const std::int64_t extra = spec.episode_count % geo.blocks;
+    if (extra > 0) profile.add_block(algo5_block(device, spec, t, base + 1), extra);
+    if (geo.blocks > extra) {
+      profile.add_block(algo5_block(device, spec, t, base), geo.blocks - extra);
+    }
+    return profile;
+  }
+
   BlockProfile block;
   switch (spec.params.algorithm) {
     case Algorithm::kThreadTexture: block = algo1_block(device, spec, t); break;
     case Algorithm::kThreadBuffered: block = algo2_block(device, spec, t); break;
     case Algorithm::kBlockTexture: block = algo3_block(device, spec, t); break;
     case Algorithm::kBlockBuffered: block = algo4_block(device, spec, t); break;
+    case Algorithm::kBlockBucketed: break;  // handled above
   }
-
-  const LaunchGeometry geo =
-      launch_geometry(spec.params.algorithm, spec.episode_count, spec.level,
-                      spec.params.threads_per_block, spec.params.buffer_bytes);
-  KernelProfile profile;
   profile.add_block(block, geo.blocks);
   return profile;
 }

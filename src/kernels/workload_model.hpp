@@ -1,12 +1,22 @@
-// Closed-form workload models of the four mining kernels.
+// Closed-form workload models of the five mining kernels.
 //
-// `model_profile` computes, analytically, exactly the KernelProfile the
-// functional engine would measure for a given problem size and launch — the
-// per-warp segment maxima, memory-operation counts and barrier structure of
+// `model_profile` computes, analytically, the KernelProfile the functional
+// engine would measure for a given problem size and launch — the per-warp
+// segment maxima, memory-operation counts and barrier structure of
 // mining_kernels.cpp, without touching any data.  This is what lets the
 // benchmark harnesses sweep the paper's full 393,019-symbol configuration
 // space in milliseconds; tests/kernels/workload_model_test.cpp asserts exact
 // field-for-field equality against the engine on adversarial small sizes.
+//
+// The paper's four formulations charge data-independently (the paper's C1
+// constant-time-per-symbol observation), so their models are *exact*.  The
+// bucketed formulation's drain work depends on the data; its model is exact
+// for the dense contiguous-restart path and an expectation elsewhere: each
+// automaton awaits exactly one symbol, so a uniform stream drains it with
+// probability 1/|alphabet| per position, making the per-symbol work term
+// scale with bucket occupancy |episodes|/|alphabet| instead of |episodes|
+// (expiry re-bucket traffic, also data-dependent, is modelled to first order
+// as one heap push+pop per match start).
 #pragma once
 
 #include "kernels/mining_kernels.hpp"
@@ -22,6 +32,10 @@ struct WorkloadSpec {
   std::int64_t db_size = 0;
   std::int64_t episode_count = 0;
   int level = 1;
+  /// Bucketed formulation only: divisor of the expected bucket occupancy
+  /// (|episodes|/|alphabet| automata await each scanned symbol on a uniform
+  /// stream).  Defaults to the paper's 26-letter alphabet.
+  int alphabet_size = 26;
   MiningLaunchParams params;
 };
 

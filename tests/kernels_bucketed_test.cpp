@@ -1,0 +1,305 @@
+// Algorithm 5 (block-bucketed single-scan) correctness and hardening:
+//
+//  * randomized bit-exact equivalence against the serial oracle across both
+//    semantics x expiry windows x block sizes (the kernel never chunks the
+//    database, so unlike the block-level formulations it owes the oracle
+//    exact counts even under expiry);
+//  * a paper-Figure-5 regression: occurrences crafted to span the chunk /
+//    staging-buffer boundaries of the other formulations, on which all five
+//    algorithms must agree with the serial reference;
+//  * the level-cap error path: a request beyond kMaxLevel must surface a
+//    reportable gm::PreconditionError from every entry point (geometry,
+//    kernel launch, backend, miner) instead of an invariant failure deep in
+//    the kernel layer;
+//  * bucketed launch geometry and the first-symbol staging permutation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/miner.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "kernels/gpu_backend.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "kernels/workload_model.hpp"
+
+namespace gm::kernels {
+namespace {
+
+using core::Alphabet;
+using core::Episode;
+using core::Semantics;
+using core::Sequence;
+using core::Symbol;
+
+gpusim::Engine small_engine() {
+  gpusim::EngineOptions opts;
+  opts.host_threads = 2;
+  opts.simulate_texture_cache = false;
+  return gpusim::Engine(gpusim::geforce_8800_gts_512(), opts);
+}
+
+/// Uniform-level random episodes; repeated symbols allowed on purpose (they
+/// exercise the swapped-out-bucket re-file path).
+std::vector<Episode> random_level_episodes(Rng& rng, int alphabet_size, int count, int level) {
+  std::vector<Episode> episodes;
+  episodes.reserve(static_cast<std::size_t>(count));
+  for (int e = 0; e < count; ++e) {
+    std::vector<Symbol> symbols;
+    symbols.reserve(static_cast<std::size_t>(level));
+    for (int i = 0; i < level; ++i) {
+      symbols.push_back(
+          static_cast<Symbol>(rng.below(static_cast<std::uint64_t>(alphabet_size))));
+    }
+    episodes.emplace_back(std::move(symbols));
+  }
+  return episodes;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized bit-exact equivalence vs the serial oracle.
+// ---------------------------------------------------------------------------
+
+struct EquivCase {
+  Semantics semantics;
+  int window;  // 0 = no expiry
+  int threads_per_block;
+
+  friend std::ostream& operator<<(std::ostream& os, const EquivCase& c) {
+    return os << core::to_string(c.semantics) << "/W" << c.window << "/t"
+              << c.threads_per_block;
+  }
+};
+
+class BucketedEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(BucketedEquivalence, MatchesSerialOracleBitExact) {
+  const EquivCase c = GetParam();
+  const gpusim::Engine engine = small_engine();
+  const core::ExpiryPolicy expiry{c.window};
+
+  gm::Rng rng(0xB0C4E7 ^ static_cast<unsigned>(c.window * 31 + c.threads_per_block));
+  for (int trial = 0; trial < 4; ++trial) {
+    const int alphabet_size = static_cast<int>(rng.between(3, 26));
+    const Alphabet alphabet(alphabet_size);
+    const auto size = static_cast<std::int64_t>(600 + rng.below(1000));
+    const Sequence db = data::uniform_database(alphabet, size, rng());
+    const int level = static_cast<int>(rng.between(1, std::min(alphabet_size, 4)));
+    const int count = static_cast<int>(rng.between(1, 90));
+    const auto episodes = random_level_episodes(rng, alphabet_size, count, level);
+
+    MiningLaunchParams params;
+    params.algorithm = Algorithm::kBlockBucketed;
+    params.threads_per_block = c.threads_per_block;
+    params.semantics = c.semantics;
+    params.expiry = expiry;
+    params.buffer_bytes = 192;  // several staging iterations at these sizes
+
+    const MiningRun run = run_mining_kernel(engine, db, episodes, params);
+    const auto expected = core::count_all(episodes, db, c.semantics, expiry);
+    ASSERT_EQ(run.counts.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(run.counts[i], expected[i])
+          << c << " trial " << trial << " alphabet " << alphabet_size << " episode "
+          << episodes[i].to_string(alphabet) << " db size " << size;
+    }
+  }
+}
+
+std::vector<EquivCase> equivalence_cases() {
+  std::vector<EquivCase> cases;
+  for (const Semantics s :
+       {Semantics::kNonOverlappedSubsequence, Semantics::kContiguousRestart}) {
+    for (const int window : {0, 3, 17, 64}) {
+      for (const int tpb : {16, 33, 128}) {
+        cases.push_back({s, window, tpb});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BucketedEquivalence,
+                         ::testing::ValuesIn(equivalence_cases()));
+
+// ---------------------------------------------------------------------------
+// Figure 5 regression: boundary-spanning occurrences, all five formulations.
+// ---------------------------------------------------------------------------
+
+TEST(BucketedFigure5, AllFiveFormulationsAgreeOnBoundarySpanningOccurrences) {
+  // Every occurrence of <0,1,2> is stretched across many chunk boundaries:
+  // its symbols sit ~97 positions apart in a noise stream, so with 32-128
+  // threads splitting ~1000 symbols each occurrence crosses several
+  // thread-chunk and staging-buffer edges (the paper's Figure 5 hazard).
+  // One level per launch (the kernels pack uniform-level lists): all level 3.
+  const Alphabet alphabet(5);
+  const std::vector<Episode> episodes = {
+      Episode(std::vector<Symbol>{0, 1, 2}), Episode(std::vector<Symbol>{2, 0, 1}),
+      Episode(std::vector<Symbol>{1, 2, 0}), Episode(std::vector<Symbol>{3, 3, 3})};
+
+  Sequence db(1021, Symbol{4});  // noise symbol 4, prime length
+  for (std::size_t i = 0, k = 0; i < db.size(); i += 97, ++k) {
+    db[i] = static_cast<Symbol>(k % 3);  // 0, 1, 2, 0, 1, 2, ... far apart
+  }
+  const gpusim::Engine engine = small_engine();
+  const auto expected =
+      core::count_all(episodes, db, Semantics::kNonOverlappedSubsequence);
+  ASSERT_GT(expected[0], 0);  // the spanning occurrences exist
+
+  for (const Algorithm algorithm : all_algorithms()) {
+    for (const int tpb : {32, 128}) {
+      MiningLaunchParams params;
+      params.algorithm = algorithm;
+      params.threads_per_block = tpb;
+      params.buffer_bytes = 128;  // several buffers per occurrence span
+      const MiningRun run = run_mining_kernel(engine, db, episodes, params);
+      ASSERT_EQ(run.counts, expected) << to_string(algorithm) << " tpb " << tpb;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Level-cap hardening: precondition errors, not invariant aborts.
+// ---------------------------------------------------------------------------
+
+std::vector<Episode> level9_episodes() {
+  return {Episode(std::vector<Symbol>{0, 1, 2, 3, 4, 5, 6, 7, 8})};
+}
+
+TEST(LevelCap, LaunchGeometryNamesTheCap) {
+  try {
+    (void)launch_geometry(Algorithm::kBlockBucketed, 10, kMaxLevel + 1, 64, 1024);
+    FAIL() << "expected PreconditionError";
+  } catch (const gm::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("level"), std::string::npos) << e.what();
+  }
+}
+
+TEST(LevelCap, RunMiningKernelRejectsBeforeStaging) {
+  const Alphabet alphabet(10);
+  const Sequence db = data::uniform_database(alphabet, 200, 3);
+  const auto episodes = level9_episodes();
+  const gpusim::Engine engine = small_engine();
+  for (const Algorithm algorithm : all_algorithms()) {
+    MiningLaunchParams params;
+    params.algorithm = algorithm;
+    params.threads_per_block = 32;
+    try {
+      (void)run_mining_kernel(engine, db, episodes, params);
+      FAIL() << "expected PreconditionError for " << to_string(algorithm);
+    } catch (const gm::PreconditionError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("level 9"), std::string::npos) << what;
+      EXPECT_NE(what.find("kMaxLevel"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(LevelCap, WorkloadModelRejectsWithTheSameError) {
+  WorkloadSpec spec;
+  spec.db_size = 1000;
+  spec.episode_count = 10;
+  spec.level = kMaxLevel + 1;
+  spec.params.algorithm = Algorithm::kThreadTexture;
+  EXPECT_THROW((void)model_profile(gpusim::geforce_gtx_280(), spec), gm::PreconditionError);
+}
+
+TEST(LevelCap, SimGpuBackendSurfacesReportableError) {
+  const Alphabet alphabet(10);
+  const auto db = data::uniform_database(alphabet, 300, 11);
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kBlockBucketed;
+  params.threads_per_block = 32;
+  SimGpuBackend gpu(gpusim::geforce_gtx_280(), params);
+  EXPECT_EQ(gpu.max_level(), kMaxLevel);
+
+  const auto episodes = level9_episodes();
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  try {
+    (void)gpu.count(request);
+    FAIL() << "expected PreconditionError";
+  } catch (const gm::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the GPU kernel limit"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LevelCap, MinerChecksBackendCapBeforeCounting) {
+  // A backend advertising a cap makes the miner raise a reportable error
+  // naming the backend and the remedy *before* the over-cap request is
+  // issued — this is the CLI's error path for gpusim --max-level > 8.
+  class CappedBackend final : public core::CountingBackend {
+   public:
+    [[nodiscard]] std::string name() const override { return "capped-test-backend"; }
+    [[nodiscard]] int max_level() const override { return 2; }
+    [[nodiscard]] core::CountResult count(const core::CountRequest& request) override {
+      core::CountResult result;
+      result.counts = core::count_all(request.episodes, request.database, request.semantics,
+                                      request.expiry);
+      return result;
+    }
+  };
+
+  const Alphabet alphabet(4);
+  const auto db = data::uniform_database(alphabet, 400, 5);
+  CappedBackend backend;
+
+  core::MinerConfig config;
+  config.support_threshold = 0.0;  // everything survives: level 3 is reached
+  config.max_level = 3;
+  try {
+    (void)core::mine_frequent_episodes(db, alphabet, backend, config);
+    FAIL() << "expected PreconditionError";
+  } catch (const gm::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("capped-test-backend"), std::string::npos) << what;
+    EXPECT_NE(what.find("level 3"), std::string::npos) << what;
+  }
+
+  // At or below the cap the same configuration mines normally.
+  config.max_level = 2;
+  const auto result = core::mine_frequent_episodes(db, alphabet, backend, config);
+  EXPECT_EQ(static_cast<int>(result.levels.size()), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry and staging permutation.
+// ---------------------------------------------------------------------------
+
+TEST(BucketedGeometry, BlocksScaleWithEpisodesOverCapacity) {
+  // capacity = tpb * kBucketEpisodesPerThread.
+  const auto geo = launch_geometry(Algorithm::kBlockBucketed, 2600, 3, 64, 1024);
+  EXPECT_EQ(geo.blocks, (2600 + 511) / 512);  // 6 blocks
+  EXPECT_EQ(geo.padded_episodes, 2600);       // no Mars-style padding
+  EXPECT_EQ(geo.shared_mem_per_block, 1024);  // DB staging buffer
+
+  // Fewer episodes than one block's capacity: a single block.
+  EXPECT_EQ(launch_geometry(Algorithm::kBlockBucketed, 26, 1, 64, 2048).blocks, 1);
+}
+
+TEST(BucketedStaging, CountsReturnInCallerOrderDespiteFirstSymbolSort) {
+  // Episodes handed over in descending-first-symbol order with distinct
+  // planted counts: the staging sort must not leak into the result order.
+  const Alphabet alphabet(4);
+  Sequence db;
+  for (int k = 0; k < 6; ++k) db.push_back(Symbol{0});
+  for (int k = 0; k < 4; ++k) db.push_back(Symbol{1});
+  for (int k = 0; k < 2; ++k) db.push_back(Symbol{2});
+  const std::vector<Episode> episodes = {Episode(std::vector<Symbol>{2}),
+                                         Episode(std::vector<Symbol>{1}),
+                                         Episode(std::vector<Symbol>{0})};
+
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kBlockBucketed;
+  params.threads_per_block = 16;
+  params.buffer_bytes = 64;
+  const MiningRun run = run_mining_kernel(small_engine(), db, episodes, params);
+  EXPECT_EQ(run.counts, (std::vector<std::int64_t>{2, 4, 6}));
+}
+
+}  // namespace
+}  // namespace gm::kernels

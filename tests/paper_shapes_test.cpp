@@ -182,12 +182,14 @@ TEST(Fig9l, Algo4Level3RisesWithThreads) {
 TEST(Conclusions, BestAlgorithmFlipsWithProblemSize) {
   // "a MapReduce-based implementation must dynamically adapt the type and
   // level of parallelism": the winning algorithm differs between L1 and L3.
+  // Scoped to the paper's four formulations like the sibling conclusion
+  // tests — Algorithm 5 is outside the paper's claim.
   const auto gtx = gpusim::geforce_gtx_280();
   auto winner = [&](int level) {
     Algorithm best = Algorithm::kThreadTexture;
     double best_ms = 0.0;
     bool first = true;
-    for (const Algorithm a : kernels::all_algorithms()) {
+    for (const Algorithm a : kernels::paper_algorithms()) {
       const auto series = sweep_series(gtx, a, level);
       const double m = *std::min_element(series.begin(), series.end());
       if (first || m < best_ms) {
@@ -222,10 +224,13 @@ TEST(Conclusions, OldestCardFastestForSmallProblems) {
 
 TEST(Conclusions, NewestCardFastestForLargeProblems) {
   // "the best execution time for large problem sizes always occurs on the
-  // newest generation": best-over-everything at L3.
+  // newest generation": best-over-everything at L3, over the paper's four
+  // formulations.  Algorithm 5 deliberately breaks this claim — bucketing
+  // shrinks L3 to a small-grid kernel, and per the paper's own small-problem
+  // observation the oldest card then wins — so it stays out of this sweep.
   auto best_on = [&](const gpusim::DeviceSpec& card) {
     double best = 1e300;
-    for (const Algorithm a : kernels::all_algorithms()) {
+    for (const Algorithm a : kernels::paper_algorithms()) {
       const auto series = sweep_series(card, a, 3);
       best = std::min(best, *std::min_element(series.begin(), series.end()));
     }

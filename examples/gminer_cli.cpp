@@ -3,11 +3,15 @@
 //
 //   gminer_cli [options] [dataset.txt]
 //     --backend <name>             counting backend       (default gpusim;
-//                                  names from bench::backend_names())
+//                                  names from bench::backend_names();
+//                                  "auto" re-plans the formulation at every
+//                                  mining level from the analytic cost models)
 //     --threads <n>                CPU backend threads, 0 = hw (default 0)
 //     --card <8800|gx2|gtx280>     simulated card         (default gtx280)
 //     --algo <1|2|3|4|5>           GPU algorithm          (default 3;
 //                                  5 = block-bucketed single-scan)
+//     --explain                    with --backend auto: dump each level's
+//                                  full planner decision table to stderr
 //     --tpb <n>                    threads per block      (default 64)
 //     --support <alpha>            support threshold      (default 0.001)
 //     --max-level <L>              episode length bound   (default 3)
@@ -31,6 +35,7 @@
 #include "core/miner.hpp"
 #include "data/dataset_io.hpp"
 #include "data/generators.hpp"
+#include "planner/auto_backend.hpp"
 
 namespace {
 
@@ -38,7 +43,7 @@ void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--backend <name>] [--threads N] [--card 8800|gx2|gtx280]\n"
          "       [--algo 1..5] [--tpb N] [--support A] [--max-level L] [--expiry W]\n"
-         "       [--semantics subseq|contig] [--cpu] [--demo] [dataset.txt]\n"
+         "       [--semantics subseq|contig] [--cpu] [--demo] [--explain] [dataset.txt]\n"
          "backends:";
   for (const auto name : gm::bench::backend_names()) out << " " << name;
   out << "\n";
@@ -65,6 +70,7 @@ int main(int argc, char** argv) {
   int max_level = 3;
   std::int64_t expiry = 0;
   bool demo = false;
+  bool explain = false;
   std::string semantics_name = "subseq";
   std::string dataset_path;
 
@@ -96,6 +102,7 @@ int main(int argc, char** argv) {
       }
       else if (arg == "--cpu") backend_name = "cpu-serial";
       else if (arg == "--demo") demo = true;
+      else if (arg == "--explain") explain = true;
       else if (arg == "--help" || arg == "-h") {
         print_usage(std::cout, argv[0]);
         return 0;
@@ -149,6 +156,11 @@ int main(int argc, char** argv) {
     const auto result =
         core::mine_frequent_episodes(dataset.events, dataset.alphabet, *backend, config);
 
+    // With --backend auto, report what the planner picked at each level (the
+    // winning formulation flips as the candidate set shrinks); --explain
+    // additionally dumps the full per-level decision tables.
+    const auto* adaptive = dynamic_cast<const planner::AutoBackend*>(backend.get());
+
     for (const auto& level : result.levels) {
       std::cerr << "level " << level.level << ": " << level.candidates << " candidates -> "
                 << level.frequent << " frequent";
@@ -156,6 +168,14 @@ int main(int argc, char** argv) {
         std::cerr << " (simulated kernel " << level.simulated_kernel_ms << " ms)";
       }
       std::cerr << "\n";
+      if (adaptive != nullptr) {
+        const std::size_t i = static_cast<std::size_t>(level.level) - 1;
+        if (i < adaptive->plans().size()) {
+          const planner::Plan& plan = adaptive->plans()[i];
+          std::cerr << "  plan: " << plan.explanation << "\n";
+          if (explain) std::cerr << planner::format_plan(plan);
+        }
+      }
     }
 
     // Results to stdout: one "episode count support" row each.

@@ -1,0 +1,137 @@
+#include "bench_support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace gm::bench {
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    gm::expects(out_.empty(), "JSON document already holds a complete top-level value");
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    gm::expects(pending_key_, "JSON object values need a key() first");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  gm::expects(!stack_.empty() && stack_.back() == Scope::kObject && !pending_key_,
+              "unbalanced JSON end_object");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  gm::expects(!stack_.empty() && stack_.back() == Scope::kArray, "unbalanced JSON end_array");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  gm::expects(!stack_.empty() && stack_.back() == Scope::kObject && !pending_key_,
+              "JSON key() belongs inside an object, once per value");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  append_escaped(out_, name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  append_escaped(out_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  gm::expects(stack_.empty(), "JSON document has unclosed containers");
+  return out_;
+}
+
+void JsonWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  gm::expects(file.good(), "cannot open '" + path + "' for writing");
+  file << str() << '\n';
+  file.close();
+  gm::expects(file.good(), "failed writing '" + path + "'");
+}
+
+}  // namespace gm::bench

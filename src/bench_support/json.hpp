@@ -1,0 +1,59 @@
+// Minimal streaming JSON emitter for the machine-readable benchmark
+// artifacts (BENCH_*.json): the CI bench job uploads what the drivers write
+// here, and downstream tooling (regression dashboards, the regret gate)
+// parses it.  Commas and nesting are managed automatically; misuse (a value
+// in an object without a key, unbalanced end calls) trips a precondition
+// error rather than emitting malformed JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gm::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Name the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);  ///< non-finite numbers emit null
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+
+  /// Shorthand: key(name).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document.  Throws if containers are still open.
+  [[nodiscard]] const std::string& str() const;
+
+  /// Write the finished document (plus a trailing newline) to `path`,
+  /// throwing gm::Error when the file cannot be written.
+  void write_file(const std::string& path) const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace gm::bench

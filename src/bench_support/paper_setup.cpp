@@ -1,15 +1,18 @@
 #include "bench_support/paper_setup.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/cpu_backend.hpp"
 #include "data/generators.hpp"
 #include "kernels/gpu_backend.hpp"
+#include "planner/auto_backend.hpp"
 
 namespace gm::bench {
 
 std::vector<std::string_view> backend_names() {
-  return {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "gpusim"};
+  return {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "gpusim", "auto"};
 }
 
 std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
@@ -17,6 +20,12 @@ std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
   if (spec.name == "gpusim") {
     return std::make_unique<kernels::SimGpuBackend>(gpusim::device_by_name(spec.card),
                                                     spec.launch);
+  }
+  if (spec.name == "auto") {
+    planner::PlannerOptions options;
+    options.device = gpusim::device_by_name(spec.card);
+    options.cpu_threads = spec.threads;
+    return std::make_unique<planner::AutoBackend>(std::move(options));
   }
   std::string known;
   for (const auto name : backend_names()) {

@@ -21,7 +21,11 @@ namespace gm::bench {
 /// Everything needed to name a counting backend on a command line.
 struct BackendSpec {
   /// "cpu-serial" | "cpu-parallel" | "cpu-sharded" | "cpu-single-scan" |
-  /// "gpusim" (unprefixed cpu aliases accepted).
+  /// "gpusim" | "auto" (unprefixed cpu aliases accepted).  "auto" plans the
+  /// formulation per counting level (planner::AutoBackend): `card` names the
+  /// device its GPU candidates are scored for and `threads` its CPU worker
+  /// budget; `launch` is ignored (the planner sweeps algorithms and
+  /// threads-per-block itself).
   std::string name = "gpusim";
   int threads = 0;  ///< CPU backends: 0 = hardware concurrency
   std::string card = "gtx280";

@@ -20,10 +20,14 @@ double elapsed_ms(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-int resolve_threads(int threads) {
+}  // namespace
+
+int resolved_thread_count(int threads) noexcept {
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
   return threads > 0 ? threads : 1;
 }
+
+namespace {
 
 /// Run `work(worker_index)` on min(threads, tasks) threads (inline when one
 /// suffices).  Shared by the parallel backends.
@@ -77,7 +81,7 @@ CountResult SerialCpuBackend::count(const CountRequest& request) {
   return result;
 }
 
-ParallelCpuBackend::ParallelCpuBackend(int threads) : threads_(resolve_threads(threads)) {}
+ParallelCpuBackend::ParallelCpuBackend(int threads) : threads_(resolved_thread_count(threads)) {}
 
 std::string ParallelCpuBackend::name() const {
   return "cpu-parallel-x" + std::to_string(threads_);
@@ -95,7 +99,7 @@ CountResult ParallelCpuBackend::count(const CountRequest& request) {
   return result;
 }
 
-ShardedCpuBackend::ShardedCpuBackend(int threads) : threads_(resolve_threads(threads)) {}
+ShardedCpuBackend::ShardedCpuBackend(int threads) : threads_(resolved_thread_count(threads)) {}
 
 std::string ShardedCpuBackend::name() const {
   return "cpu-sharded-x" + std::to_string(threads_);

@@ -74,6 +74,12 @@ class SingleScanCpuBackend final : public CountingBackend {
   [[nodiscard]] CountResult count(const CountRequest& request) override;
 };
 
+/// The worker count a CPU backend constructed with `threads` will actually
+/// use: 0 resolves to the hardware concurrency, and the result is never less
+/// than 1.  Exposed as a capability query so a planner predicting backend
+/// times applies the same resolution rule the backends themselves do.
+[[nodiscard]] int resolved_thread_count(int threads) noexcept;
+
 /// Construct a CPU backend by name: "cpu-serial", "cpu-parallel",
 /// "cpu-sharded", or "cpu-single-scan" (unprefixed aliases accepted).
 /// Returns nullptr for unknown names so callers can layer their own backends

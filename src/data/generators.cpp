@@ -1,5 +1,9 @@
 #include "data/generators.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "common/error.hpp"
 
 namespace gm::data {
@@ -36,6 +40,37 @@ core::Sequence markov_database(const core::Alphabet& alphabet, std::int64_t size
   for (std::int64_t i = 0; i < size; ++i) {
     if (!rng.chance(self_transition)) current = draw();
     out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<double> zipf_frequencies(int alphabet_size, double exponent) {
+  gm::expects(alphabet_size >= 1, "alphabet must be non-empty");
+  gm::expects(exponent >= 0.0, "Zipf exponent must be non-negative");
+  std::vector<double> freq(static_cast<std::size_t>(alphabet_size));
+  double total = 0.0;
+  for (int k = 0; k < alphabet_size; ++k) {
+    freq[static_cast<std::size_t>(k)] = std::pow(static_cast<double>(k) + 1.0, -exponent);
+    total += freq[static_cast<std::size_t>(k)];
+  }
+  for (double& f : freq) f /= total;
+  return freq;
+}
+
+core::Sequence zipf_database(const core::Alphabet& alphabet, std::int64_t size,
+                             double exponent, std::uint64_t seed) {
+  gm::expects(size >= 0, "database size must be non-negative");
+  const std::vector<double> freq = zipf_frequencies(alphabet.size(), exponent);
+  std::vector<double> cumulative(freq.size());
+  std::partial_sum(freq.begin(), freq.end(), cumulative.begin());
+  cumulative.back() = 1.0;  // guard against rounding: the last bucket owns [c, 1)
+
+  Rng rng(seed);
+  core::Sequence out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), rng.unit());
+    out.push_back(static_cast<core::Symbol>(it - cumulative.begin()));
   }
   return out;
 }

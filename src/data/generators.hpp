@@ -35,6 +35,19 @@ inline constexpr std::int64_t kPaperDatabaseSize = 393'019;
 [[nodiscard]] core::Sequence markov_database(const core::Alphabet& alphabet, std::int64_t size,
                                              double self_transition, std::uint64_t seed);
 
+/// Zipf-distributed i.i.d. symbols: symbol k is drawn with probability
+/// proportional to (k+1)^-exponent.  `exponent` = 0 degenerates to uniform;
+/// 1.0 is the classic heavy skew of natural event streams.  This is the
+/// stress shape for the bucket-indexed formulations, whose per-symbol work
+/// tracks bucket occupancy rather than |episodes| (see
+/// kernels::bucket_drain_rate for the matching analytic term).
+[[nodiscard]] core::Sequence zipf_database(const core::Alphabet& alphabet, std::int64_t size,
+                                           double exponent, std::uint64_t seed);
+
+/// The Zipf(exponent) symbol distribution `zipf_database` draws from:
+/// frequencies[k] = (k+1)^-exponent, normalized to sum to 1.
+[[nodiscard]] std::vector<double> zipf_frequencies(int alphabet_size, double exponent);
+
 /// Configuration for the planted-episode spike-train generator.
 struct SpikeTrainConfig {
   std::int64_t size = 10'000;       ///< events in the recording

@@ -1,6 +1,7 @@
 #include "kernels/workload_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "common/error.hpp"
@@ -357,6 +358,8 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
   const std::int64_t B = s.params.buffer_bytes;
   const int L = s.level;
   const double A = static_cast<double>(s.alphabet_size);
+  const double drain_rate =
+      s.symbol_freq.empty() ? 1.0 / A : bucket_drain_rate(s.symbol_freq, L);
   const bool dense = s.params.semantics == gm::core::Semantics::kContiguousRestart;
   const bool expiry = s.params.expiry.enabled();
   BlockModel block(t, dev.warp_size);
@@ -400,8 +403,9 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
             lt.instr += N * (kBufferedScanInstr + 1 + owned * kAutomatonStepInstr);
           } else {
             // Expected drains: every automaton awaits exactly one symbol, so
-            // each position hits a given automaton's bucket w.p. 1/alphabet.
-            const double drains = owned * N / A;
+            // each position hits a given automaton's bucket w.p. 1/alphabet
+            // on a uniform stream, or bucket_drain_rate under measured skew.
+            const double drains = owned * N * drain_rate;
             lt.instr += N * (kBucketProbeInstr + 1) +
                         drains * (kBucketDrainInstr + kAutomatonStepInstr +
                                   kBucketFileInstr + 2);
@@ -434,6 +438,40 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
 
 }  // namespace
 
+double bucket_drain_rate(std::span<const double> symbol_freq, int level) {
+  gm::expects(!symbol_freq.empty(), "drain rate needs at least one symbol frequency");
+  gm::expects(level >= 1, "drain rate needs a positive level");
+  double total = 0.0;
+  double mean_dwell = 0.0;
+  double mean_dwell_sq = 0.0;
+  const double n = static_cast<double>(symbol_freq.size());
+  for (const double p : symbol_freq) {
+    gm::expects(p >= 0.0, "symbol frequencies must be non-negative");
+    total += p;
+    if (p <= 0.0) return 0.0;  // a dead bucket parks every automaton reaching it
+    mean_dwell += (1.0 / p) / n;
+    mean_dwell_sq += (1.0 / (p * p)) / n;
+  }
+  gm::expects(std::abs(total - 1.0) < 1e-6, "symbol frequencies must sum to 1");
+  const double variance = std::max(0.0, mean_dwell_sq - mean_dwell * mean_dwell);
+  const double cv_sq = variance / (mean_dwell * mean_dwell);
+  return (1.0 / mean_dwell) * (1.0 + cv_sq / static_cast<double>(level));
+}
+
+std::vector<double> measured_symbol_freq(std::span<const core::Symbol> database,
+                                         int alphabet_size) {
+  gm::expects(alphabet_size >= 1, "alphabet must be non-empty");
+  std::vector<double> freq(static_cast<std::size_t>(alphabet_size), 0.0);
+  for (const core::Symbol s : database) {
+    gm::expects(static_cast<int>(s) < alphabet_size, "database symbol outside alphabet");
+    freq[static_cast<std::size_t>(s)] += 1.0;
+  }
+  const double denom =
+      static_cast<double>(database.size()) + static_cast<double>(alphabet_size);
+  for (double& f : freq) f = (f + 1.0) / denom;
+  return freq;
+}
+
 gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec) {
   const LaunchGeometry geo =
       launch_geometry(spec.params.algorithm, spec.episode_count, spec.level,
@@ -460,6 +498,9 @@ gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const Work
   if (is_bucketed(spec.params.algorithm)) {
     gm::expects(spec.alphabet_size >= 1 && spec.alphabet_size <= 255,
                 "bucketed model needs an alphabet size in [1, 255]");
+    gm::expects(spec.symbol_freq.empty() ||
+                    spec.symbol_freq.size() == static_cast<std::size_t>(spec.alphabet_size),
+                "symbol_freq must be empty (uniform) or carry one entry per alphabet symbol");
     // Blocks own thread_chunk slices of the episode list: the first
     // `extra` blocks carry one slot more than the rest.
     const std::int64_t base = spec.episode_count / geo.blocks;

@@ -19,6 +19,9 @@
 // as one heap push+pop per match start).
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "kernels/mining_kernels.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/device_spec.hpp"
@@ -36,8 +39,34 @@ struct WorkloadSpec {
   /// (|episodes|/|alphabet| automata await each scanned symbol on a uniform
   /// stream).  Defaults to the paper's 26-letter alphabet.
   int alphabet_size = 26;
+  /// Bucketed formulation only: measured (or synthetic) symbol distribution
+  /// of the stream, `alphabet_size` entries summing to 1.  Empty means
+  /// uniform, which keeps the drain term at the exact |episodes|/|alphabet|
+  /// occupancy the uniform-stream tests pin.  A skewed distribution lowers
+  /// the expected drain rate (automata park in rare-symbol buckets), per
+  /// `bucket_drain_rate`.
+  std::vector<double> symbol_freq;
   MiningLaunchParams params;
 };
+
+/// Expected per-position drain probability of one waiting automaton when the
+/// stream draws symbols i.i.d. from `symbol_freq` and awaited symbols are
+/// uniform over the alphabet.  An automaton's dwell time in the bucket of a
+/// symbol with probability p is geometric with mean 1/p, so a level-L cycle
+/// takes S = sum of L dwells and the automaton advances L/S times per
+/// position; taking the expectation with a second-order Jensen correction
+/// gives  (1 / mean_dwell) * (1 + cv^2 / level)  where cv is the coefficient
+/// of variation of the dwell distribution.  Uniform frequencies make cv = 0
+/// and recover exactly 1/|alphabet|.  Zero frequencies are allowed (their
+/// buckets park automata for the rest of the stream) but make the rate 0, so
+/// callers measuring from data should smooth (see `measured_symbol_freq`).
+[[nodiscard]] double bucket_drain_rate(std::span<const double> symbol_freq, int level);
+
+/// Empirical symbol distribution of a database with add-one (Laplace)
+/// smoothing, so absent symbols keep a small positive frequency and
+/// `bucket_drain_rate` stays finite.  Symbols >= alphabet_size are rejected.
+[[nodiscard]] std::vector<double> measured_symbol_freq(std::span<const core::Symbol> database,
+                                                       int alphabet_size);
 
 /// The launch configuration run_mining_kernel would use for this spec.
 [[nodiscard]] gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec);

@@ -1,0 +1,35 @@
+#include "planner/auto_backend.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "planner/workload.hpp"
+
+namespace gm::planner {
+
+AutoBackend::AutoBackend(PlannerOptions options) : options_(std::move(options)) {}
+
+std::string AutoBackend::name() const { return "auto(" + options_.device.name + ")"; }
+
+int AutoBackend::max_level() const {
+  return options_.enable_cpu ? 0 : kernels::kMaxLevel;
+}
+
+core::CountResult AutoBackend::count(const core::CountRequest& request) {
+  gm::expects(!request.episodes.empty(), "count request carries no episodes");
+
+  // Measuring the database statistics costs one O(|DB|) pass per level —
+  // noise next to the counting work it steers (>= O(|DB| * |eps|)), and
+  // recomputing beats caching by span identity, which a freed-and-reused
+  // allocation would silently satisfy for a different stream.
+  const Workload workload = workload_of(request);
+
+  Plan plan = plan_level(workload, options_);
+  const std::string key = plan.winner().config.label();
+  auto [it, inserted] = backends_.try_emplace(key, nullptr);
+  if (inserted) it->second = make_planned_backend(plan.winner().config, options_);
+  plans_.push_back(std::move(plan));
+  return it->second->count(request);
+}
+
+}  // namespace gm::planner

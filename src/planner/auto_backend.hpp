@@ -1,0 +1,43 @@
+// `--backend auto`: a CountingBackend that re-plans at every counting level.
+//
+// Each count() call is one mining level, and the candidate set shrinks (or
+// explodes) level by level — exactly the axis along which the paper observes
+// the winning formulation flipping.  AutoBackend measures the workload shape
+// of the incoming request, asks the planner for this level's winner, lazily
+// constructs that backend, and delegates.  The full per-level decision
+// history stays queryable so the CLI can report what was picked and why.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "planner/planner.hpp"
+
+namespace gm::planner {
+
+class AutoBackend final : public core::CountingBackend {
+ public:
+  explicit AutoBackend(PlannerOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] core::CountResult count(const core::CountRequest& request) override;
+  /// Unbounded when the CPU family is enabled (the planner falls back to a
+  /// CPU formulation past the GPU kernels' level cap); otherwise the cap is
+  /// the GPU kernels'.
+  [[nodiscard]] int max_level() const override;
+
+  /// One plan per count() call, in call order.
+  [[nodiscard]] const std::vector<Plan>& plans() const noexcept { return plans_; }
+  [[nodiscard]] const PlannerOptions& options() const noexcept { return options_; }
+
+ private:
+  PlannerOptions options_;
+  std::vector<Plan> plans_;
+  /// Constructed backends by candidate label: a formulation that wins several
+  /// levels is built once (SimGpuBackend construction stages an engine).
+  std::map<std::string, std::unique_ptr<core::CountingBackend>> backends_;
+};
+
+}  // namespace gm::planner

@@ -1,0 +1,92 @@
+#include "planner/cpu_cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "kernels/workload_model.hpp"
+
+namespace gm::planner {
+namespace {
+
+constexpr double kNsToMs = 1e-6;
+constexpr double kUsToMs = 1e-3;
+
+double checked_shape(const Workload& w) {
+  gm::expects(w.db_size > 0, "cpu cost model needs a non-empty database");
+  gm::expects(w.episode_count > 0, "cpu cost model needs at least one episode");
+  gm::expects(w.level >= 1, "cpu cost model needs a positive level");
+  return static_cast<double>(w.db_size) * static_cast<double>(w.episode_count);
+}
+
+/// Skew-aware per-position drain probability of one waiting automaton —
+/// shared with the Algorithm-5 device model so host and device predictions
+/// agree on what a Zipfian stream does to bucket occupancy.
+double drain_rate(const Workload& w) {
+  if (w.symbol_freq.empty()) return 1.0 / static_cast<double>(w.alphabet_size);
+  return kernels::bucket_drain_rate(w.symbol_freq, w.level);
+}
+
+double spawn_ms(int workers, const CpuCostConstants& c) {
+  return workers > 1 ? static_cast<double>(workers) * c.thread_spawn_us * kUsToMs : 0.0;
+}
+
+}  // namespace
+
+double predict_cpu_serial_ms(const Workload& w, const CpuCostConstants& c) {
+  const double steps = checked_shape(w);
+  // Expiry costs twice per scanned symbol (window tracking) plus deadline
+  // bookkeeping per match start — except at level 1, where a single-symbol
+  // occurrence can never expire mid-match (the same L > 1 guard the
+  // Algorithm-5 device model applies to its heap term).
+  const double step_ns = w.expiry.enabled() ? c.serial_expiry_step_ns : c.serial_step_ns;
+  double ms = steps * step_ns * kNsToMs;
+  if (w.expiry.enabled() && w.level > 1) {
+    ms += steps * drain_rate(w) / static_cast<double>(w.level) * c.expiry_heap_ns * kNsToMs;
+  }
+  return ms;
+}
+
+double predict_cpu_parallel_ms(const Workload& w, int threads, const CpuCostConstants& c) {
+  gm::expects(threads >= 1, "cpu cost model needs a positive thread count");
+  const int workers =
+      static_cast<int>(std::min<std::int64_t>(threads, w.episode_count));
+  return predict_cpu_serial_ms(w, c) / workers + spawn_ms(workers, c);
+}
+
+double predict_cpu_sharded_ms(const Workload& w, int threads, const CpuCostConstants& c) {
+  gm::expects(threads >= 1, "cpu cost model needs a positive thread count");
+  if (w.expiry.enabled()) {
+    // Position-dependent transfer functions force the per-episode fallback:
+    // the parallel axis degrades to episodes (see ShardedCpuBackend).
+    return predict_cpu_parallel_ms(w, threads, c);
+  }
+  const double steps = checked_shape(w);
+  // Each (episode, shard) task steps every entry state (level of them) per
+  // shard symbol; shards == threads, so total transfer work is steps * L
+  // spread over `threads` workers, plus the sequential compose fold.
+  const double map_ms = steps * static_cast<double>(w.level) * c.sharded_step_ns * kNsToMs /
+                        static_cast<double>(threads);
+  const double fold_ms = static_cast<double>(w.episode_count) *
+                         static_cast<double>(threads) * c.fold_step_ns * kNsToMs;
+  return map_ms + fold_ms + spawn_ms(threads, c);
+}
+
+double predict_cpu_single_scan_ms(const Workload& w, const CpuCostConstants& c) {
+  const double steps = checked_shape(w);
+  const double db = static_cast<double>(w.db_size);
+  if (w.semantics == core::Semantics::kContiguousRestart) {
+    // Dense fallback: mismatch edges mean every symbol can advance any
+    // automaton, so the bucket index cannot skip work.
+    return steps * c.scan_dense_step_ns * kNsToMs;
+  }
+  const double drains = steps * drain_rate(w);
+  double ms = db * c.scan_probe_ns * kNsToMs + drains * c.scan_drain_ns * kNsToMs;
+  if (w.expiry.enabled() && w.level > 1) {
+    // One deadline push per match start (~drains / level) plus its pop;
+    // level-1 occurrences cannot expire mid-match.
+    ms += drains / static_cast<double>(w.level) * c.expiry_heap_ns * kNsToMs;
+  }
+  return ms;
+}
+
+}  // namespace gm::planner

@@ -1,0 +1,64 @@
+// Analytic cost curves of the four CPU counting backends, the host-side
+// counterpart of kernels/workload_model.hpp: given a workload shape, predict
+// each backend's wall-clock in milliseconds from measured per-operation
+// constants (the cost_constants.hpp calibration style, applied to host code).
+//
+// The curves mirror the complexity table in core/cpu_backend.hpp:
+//
+//   cpu-serial        |DB| * |eps| automaton steps
+//   cpu-parallel      serial work / min(t, |eps|) + per-worker spawn cost
+//   cpu-sharded       |DB| * |eps| * L transfer steps / t + compose fold
+//                     (expiry degrades it to the episode-parallel curve)
+//   cpu-single-scan   |DB| probes + |DB| * |eps| * drain_rate drains
+//                     (contiguous restart falls back to the dense scan)
+//
+// drain_rate is the same skew-aware bucket-occupancy term the Algorithm-5
+// device model uses (kernels::bucket_drain_rate), so CPU and GPU predictions
+// stay comparable on skewed streams.
+#pragma once
+
+#include "planner/workload.hpp"
+
+namespace gm::planner {
+
+/// Measured per-operation constants in nanoseconds (except the thread spawn
+/// cost, in microseconds).  Defaults were calibrated against backend_shootout
+/// wall-clock measurements on a contemporary x86-64 host at -O2 (see
+/// bench/backend_shootout.cpp --validate-planner for the live residuals);
+/// they are first-order inputs, not guarantees — the planner's regret gate
+/// tolerates a 2x model error.
+struct CpuCostConstants {
+  /// One automaton step of count_occurrences (fetch + compare + advance).
+  double serial_step_ns = 1.1;
+  /// The same step with expiry enabled: the scan additionally tracks the
+  /// match-start position and tests the window, roughly doubling the
+  /// per-symbol cost (measured, not derived).
+  double serial_expiry_step_ns = 2.0;
+  /// One (entry-state, symbol) step of segment_transfer in the sharded map.
+  double sharded_step_ns = 1.9;
+  /// Single-scan per-position bucket probe (hash of the scanned symbol +
+  /// expiry-deadline peek).
+  double scan_probe_ns = 3.0;
+  /// Single-scan per drained automaton (pop, generation check, step, refile).
+  double scan_drain_ns = 12.0;
+  /// Dense contiguous-restart path: one automaton step per (symbol, episode).
+  double scan_dense_step_ns = 1.5;
+  /// Expiry bookkeeping per match start (deadline heap push + eventual pop).
+  double expiry_heap_ns = 80.0;
+  /// Spawn + join cost per worker thread.
+  double thread_spawn_us = 60.0;
+  /// Sharded fold: composing one (episode, shard) transfer outcome.
+  double fold_step_ns = 8.0;
+};
+
+/// Predicted wall-clock (ms) of one counting level on each CPU backend.
+/// `threads` is the worker count the backend would actually use (callers
+/// should pass core::resolved_thread_count(requested)).
+[[nodiscard]] double predict_cpu_serial_ms(const Workload& w, const CpuCostConstants& c);
+[[nodiscard]] double predict_cpu_parallel_ms(const Workload& w, int threads,
+                                             const CpuCostConstants& c);
+[[nodiscard]] double predict_cpu_sharded_ms(const Workload& w, int threads,
+                                            const CpuCostConstants& c);
+[[nodiscard]] double predict_cpu_single_scan_ms(const Workload& w, const CpuCostConstants& c);
+
+}  // namespace gm::planner

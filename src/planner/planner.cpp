@@ -1,0 +1,249 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "core/cpu_backend.hpp"
+#include "kernels/gpu_backend.hpp"
+#include "kernels/workload_model.hpp"
+
+namespace gm::planner {
+namespace {
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ms < 10.0 ? "%.3f" : "%.2f", ms);
+  return buf;
+}
+
+kernels::WorkloadSpec gpu_spec_of(const Workload& w, kernels::Algorithm algorithm, int tpb) {
+  kernels::WorkloadSpec spec;
+  spec.db_size = w.db_size;
+  spec.episode_count = w.episode_count;
+  spec.level = w.level;
+  spec.alphabet_size = w.alphabet_size;
+  if (kernels::is_bucketed(algorithm)) spec.symbol_freq = w.symbol_freq;
+  spec.params.algorithm = algorithm;
+  spec.params.threads_per_block = tpb;
+  spec.params.semantics = w.semantics;
+  spec.params.expiry = w.expiry;
+  return spec;
+}
+
+ScoredCandidate score_cpu(const Workload& w, BackendKind kind, int threads,
+                          const CpuCostConstants& constants) {
+  ScoredCandidate c;
+  c.config.kind = kind;
+  c.config.threads = threads;
+  c.feasible = true;
+  switch (kind) {
+    case BackendKind::kCpuSerial:
+      c.predicted_ms = predict_cpu_serial_ms(w, constants);
+      c.reason = "single-core reference scan";
+      break;
+    case BackendKind::kCpuParallel:
+      c.predicted_ms = predict_cpu_parallel_ms(w, threads, constants);
+      c.reason = "episode-parallel map";
+      break;
+    case BackendKind::kCpuSharded:
+      c.predicted_ms = predict_cpu_sharded_ms(w, threads, constants);
+      c.reason = w.expiry.enabled() ? "expiry degrades sharding to episode parallelism"
+                                    : "database-sharded map + compose fold";
+      break;
+    case BackendKind::kCpuSingleScan:
+      c.predicted_ms = predict_cpu_single_scan_ms(w, constants);
+      c.reason = w.semantics == core::Semantics::kContiguousRestart
+                     ? "dense single scan (contiguous restart)"
+                     : "bucket-indexed single scan";
+      break;
+    case BackendKind::kGpuSim: gm::raise_precondition("score_cpu called for gpusim"); break;
+  }
+  return c;
+}
+
+ScoredCandidate score_gpu(const Workload& w, kernels::Algorithm algorithm, int tpb,
+                          const PlannerOptions& options) {
+  ScoredCandidate c;
+  c.config.kind = BackendKind::kGpuSim;
+  c.config.algorithm = algorithm;
+  c.config.threads_per_block = tpb;
+
+  // Capability gates, checked in the order a user could fix them; the
+  // catch-all below keeps any further kernel-layer precondition from
+  // escaping as an exception instead of a rejection.
+  if (w.level > kernels::kMaxLevel) {
+    c.reason = "backend max_level " + std::to_string(kernels::kMaxLevel) +
+               " < requested level " + std::to_string(w.level) +
+               " (frame-register episode staging)";
+    return c;
+  }
+  if (tpb > options.device.max_threads_per_block) {
+    c.reason = "threads_per_block " + std::to_string(tpb) + " exceeds the device limit " +
+               std::to_string(options.device.max_threads_per_block);
+    return c;
+  }
+  if (kernels::is_block_level(algorithm) && tpb > w.db_size) {
+    c.reason = "block-level chunking needs threads_per_block <= |DB| (" +
+               std::to_string(w.db_size) + ")";
+    return c;
+  }
+  if (options.require_exact && w.expiry.enabled() && kernels::is_block_level(algorithm)) {
+    c.reason = "inexact under expiry (overlap-rescan approximation); "
+               "relax require_exact to allow";
+    return c;
+  }
+  try {
+    const gpusim::CostModel model(options.cost_params);
+    c.breakdown =
+        kernels::predict_mining_time(options.device, gpu_spec_of(w, algorithm, tpb), model);
+    c.predicted_ms = c.breakdown.total_ms;
+    c.feasible = true;
+    c.reason = "bound by " + c.breakdown.bound_by;
+  } catch (const gm::Error& e) {
+    c.reason = e.what();
+  }
+  return c;
+}
+
+}  // namespace
+
+PlannerOptions::PlannerOptions() : device(gpusim::geforce_gtx_280()) {}
+
+std::string_view backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kCpuSerial: return "cpu-serial";
+    case BackendKind::kCpuParallel: return "cpu-parallel";
+    case BackendKind::kCpuSharded: return "cpu-sharded";
+    case BackendKind::kCpuSingleScan: return "cpu-single-scan";
+    case BackendKind::kGpuSim: return "gpusim";
+  }
+  gm::raise_precondition("unknown backend kind");
+}
+
+std::string CandidateConfig::label() const {
+  if (kind == BackendKind::kGpuSim) {
+    return "gpusim-algo" + std::to_string(kernels::algorithm_number(algorithm)) + "/t" +
+           std::to_string(threads_per_block);
+  }
+  std::string name(backend_kind_name(kind));
+  if (kind == BackendKind::kCpuParallel || kind == BackendKind::kCpuSharded) {
+    name += "-x" + std::to_string(threads);
+  }
+  return name;
+}
+
+Plan plan_level(const Workload& workload, const PlannerOptions& options) {
+  gm::expects(workload.db_size > 0, "planner needs a non-empty database");
+  gm::expects(workload.episode_count > 0, "planner needs at least one episode");
+  gm::expects(workload.level >= 1, "planner needs a positive level");
+  gm::expects(options.enable_cpu || options.enable_gpu,
+              "planner needs at least one enabled candidate family");
+
+  Plan plan;
+  plan.workload = workload;
+
+  if (options.enable_cpu) {
+    const int threads = core::resolved_thread_count(options.cpu_threads);
+    plan.table.push_back(score_cpu(workload, BackendKind::kCpuSerial, 1,
+                                   options.cpu_constants));
+    plan.table.push_back(score_cpu(workload, BackendKind::kCpuParallel, threads,
+                                   options.cpu_constants));
+    plan.table.push_back(score_cpu(workload, BackendKind::kCpuSharded, threads,
+                                   options.cpu_constants));
+    plan.table.push_back(score_cpu(workload, BackendKind::kCpuSingleScan, 1,
+                                   options.cpu_constants));
+  }
+  if (options.enable_gpu) {
+    gm::expects(!options.tpb_sweep.empty(),
+                "planner needs a non-empty threads-per-block sweep");
+    for (const kernels::Algorithm algorithm : kernels::all_algorithms()) {
+      for (const int tpb : options.tpb_sweep) {
+        plan.table.push_back(score_gpu(workload, algorithm, tpb, options));
+      }
+    }
+  }
+
+  // Feasible candidates first, fastest first; label as the deterministic
+  // tie-break.  Rejected candidates keep enumeration order at the tail so
+  // the table reads "ranking, then rejections".
+  std::stable_sort(plan.table.begin(), plan.table.end(),
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     if (!a.feasible) return false;
+                     if (a.predicted_ms != b.predicted_ms) {
+                       return a.predicted_ms < b.predicted_ms;
+                     }
+                     return a.config.label() < b.config.label();
+                   });
+
+  const std::size_t feasible = plan.feasible_count();
+  if (feasible == 0) {
+    gm::raise_precondition("planner found no feasible formulation for level " +
+                           std::to_string(workload.level) + " (" +
+                           std::to_string(plan.table.size()) + " candidates rejected)");
+  }
+
+  const ScoredCandidate& win = plan.table.front();
+  plan.explanation = "picked " + win.config.label() + " (predicted " +
+                     fmt_ms(win.predicted_ms) + " ms, " + win.reason + ")";
+  if (feasible > 1) {
+    const ScoredCandidate& runner_up = plan.table[1];
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2f",
+                  win.predicted_ms > 0.0 ? runner_up.predicted_ms / win.predicted_ms : 0.0);
+    plan.explanation += "; " + std::string(ratio) + "x ahead of runner-up " +
+                        runner_up.config.label() + " (" + fmt_ms(runner_up.predicted_ms) +
+                        " ms)";
+  } else {
+    plan.explanation += "; the only feasible candidate";
+  }
+  if (plan.table.size() > feasible) {
+    plan.explanation +=
+        "; rejected " + std::to_string(plan.table.size() - feasible) + " candidates";
+  }
+  return plan;
+}
+
+std::unique_ptr<core::CountingBackend> make_planned_backend(const CandidateConfig& config,
+                                                            const PlannerOptions& options) {
+  if (config.kind == BackendKind::kGpuSim) {
+    kernels::MiningLaunchParams params;
+    params.algorithm = config.algorithm;
+    params.threads_per_block = config.threads_per_block;
+    return std::make_unique<kernels::SimGpuBackend>(options.device, params,
+                                                    options.cost_params);
+  }
+  auto backend =
+      core::make_cpu_backend(backend_kind_name(config.kind), config.threads);
+  gm::ensure(backend != nullptr, "planner named an unknown CPU backend");
+  return backend;
+}
+
+std::string format_plan(const Plan& plan) {
+  const Workload& w = plan.workload;
+  std::string out = "workload: |DB|=" + std::to_string(w.db_size) +
+                    " |episodes|=" + std::to_string(w.episode_count) +
+                    " level=" + std::to_string(w.level) +
+                    " alphabet=" + std::to_string(w.alphabet_size) +
+                    " semantics=" + core::to_string(w.semantics) +
+                    " expiry=" + std::to_string(w.expiry.window) + "\n";
+  char row[256];
+  std::snprintf(row, sizeof(row), "  %-24s %12s  %s\n", "candidate", "predicted ms",
+                "note");
+  out += row;
+  for (const ScoredCandidate& c : plan.table) {
+    if (c.feasible) {
+      std::snprintf(row, sizeof(row), "  %-24s %12s  %s\n", c.config.label().c_str(),
+                    fmt_ms(c.predicted_ms).c_str(), c.reason.c_str());
+    } else {
+      std::snprintf(row, sizeof(row), "  %-24s %12s  rejected: %s\n",
+                    c.config.label().c_str(), "-", c.reason.c_str());
+    }
+    out += row;
+  }
+  out += "  => " + plan.explanation + "\n";
+  return out;
+}
+
+}  // namespace gm::planner

@@ -1,0 +1,121 @@
+// The formulation planner: the paper's conclusion — "a MapReduce-based
+// implementation must dynamically adapt the type and level of parallelism" —
+// turned into a subsystem.  Given one level's workload shape and a device,
+// enumerate every counting formulation the repo implements (four CPU
+// backends x five simulated-GPU algorithms x a threads-per-block sweep),
+// score each analytically (kernels::predict_mining_time for the device,
+// planner/cpu_cost_model for the host), and return a Plan: the winner, the
+// full scored decision table, and the reason every loser lost.
+//
+// The planner is deterministic (same workload + options => same plan), never
+// picks a candidate whose capability gate fails (e.g. a backend whose
+// max_level is below the requested level), and records a human-readable
+// rejection reason for every infeasible candidate — backend_shootout
+// --validate-planner keeps its predictions honest by measuring the whole
+// candidate table and reporting the planner's regret.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/counting.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "planner/cpu_cost_model.hpp"
+#include "planner/workload.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device_spec.hpp"
+
+namespace gm::planner {
+
+enum class BackendKind {
+  kCpuSerial,
+  kCpuParallel,
+  kCpuSharded,
+  kCpuSingleScan,
+  kGpuSim,
+};
+
+/// The make_cpu_backend / BackendSpec name of a kind ("cpu-serial", ...,
+/// "gpusim").
+[[nodiscard]] std::string_view backend_kind_name(BackendKind kind);
+
+/// One point of the candidate space: enough to both predict and construct
+/// the backend it names.
+struct CandidateConfig {
+  BackendKind kind = BackendKind::kCpuSerial;
+  /// CPU backends: resolved worker count.
+  int threads = 1;
+  /// gpusim only.
+  kernels::Algorithm algorithm = kernels::Algorithm::kThreadTexture;
+  int threads_per_block = 0;
+
+  /// Stable display / cache key, e.g. "cpu-sharded-x8" or "gpusim-algo5/t128".
+  [[nodiscard]] std::string label() const;
+};
+
+struct ScoredCandidate {
+  CandidateConfig config;
+  bool feasible = false;
+  double predicted_ms = 0.0;
+  /// Feasible: the dominant-cost note ("bound by issue", "episode-parallel
+  /// map").  Infeasible: why the candidate was rejected (never empty).
+  std::string reason;
+  /// gpusim candidates: the full mechanism breakdown behind predicted_ms.
+  gpusim::TimeBreakdown breakdown;
+};
+
+struct Plan {
+  Workload workload;
+  /// All candidates: feasible ones first, sorted by ascending predicted time
+  /// (ties broken by label so plans are deterministic), then the rejected
+  /// ones in enumeration order.
+  std::vector<ScoredCandidate> table;
+  /// Why the winner won (margin over the runner-up, rejection tally).
+  std::string explanation;
+
+  [[nodiscard]] const ScoredCandidate& winner() const { return table.front(); }
+  [[nodiscard]] std::size_t feasible_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : table) n += c.feasible ? 1 : 0;
+    return n;
+  }
+};
+
+struct PlannerOptions {
+  /// Card the gpusim candidates are scored (and constructed) for.
+  gpusim::DeviceSpec device;
+  /// CPU worker request; 0 resolves to the hardware concurrency.
+  int cpu_threads = 0;
+  /// threads-per-block sweep for the gpusim candidates.
+  std::vector<int> tpb_sweep = {32, 64, 128, 256, 512};
+  /// Candidate-space gates (a shootout validating only host backends turns
+  /// the GPU off; both off is a precondition error in plan_level).
+  bool enable_cpu = true;
+  bool enable_gpu = true;
+  /// Reject formulations that return approximate counts for the requested
+  /// semantics (the block-level kernels' overlap-rescan approximation under
+  /// expiry).  On by default: `--backend auto` must stay bit-exact with the
+  /// serial reference; benchmarking harnesses may relax it.
+  bool require_exact = true;
+  gpusim::CostParams cost_params = {};
+  CpuCostConstants cpu_constants = {};
+
+  PlannerOptions();  ///< defaults the device to the paper's GTX 280
+};
+
+/// Score the full candidate space for one level's workload.  Throws
+/// gm::PreconditionError when the workload is degenerate (empty database or
+/// episode set) or every candidate is infeasible.
+[[nodiscard]] Plan plan_level(const Workload& workload, const PlannerOptions& options);
+
+/// Construct the backend a candidate names (the planner's pick, typically).
+[[nodiscard]] std::unique_ptr<core::CountingBackend> make_planned_backend(
+    const CandidateConfig& config, const PlannerOptions& options);
+
+/// Render a plan as the human-readable decision table planner_explain prints.
+[[nodiscard]] std::string format_plan(const Plan& plan);
+
+}  // namespace gm::planner

@@ -75,6 +75,39 @@ TEST(SpikeTrain, PlantedCopiesAreLowerBounds) {
   }
 }
 
+TEST(ZipfDatabase, FrequenciesAreNormalizedAndRankOrdered) {
+  const auto freq = zipf_frequencies(16, 1.0);
+  ASSERT_EQ(freq.size(), 16u);
+  double total = 0.0;
+  for (std::size_t k = 1; k < freq.size(); ++k) {
+    EXPECT_GT(freq[k - 1], freq[k]);
+    total += freq[k];
+  }
+  EXPECT_NEAR(total + freq[0], 1.0, 1e-12);
+  // s = 0 degenerates to uniform.
+  for (const double f : zipf_frequencies(8, 0.0)) EXPECT_DOUBLE_EQ(f, 1.0 / 8.0);
+}
+
+TEST(ZipfDatabase, DrawsMatchTheDeclaredDistribution) {
+  const Alphabet alphabet(8);
+  const std::int64_t n = 100'000;
+  const auto db = zipf_database(alphabet, n, 1.0, 42);
+  ASSERT_EQ(static_cast<std::int64_t>(db.size()), n);
+
+  std::vector<double> counts(8, 0.0);
+  for (const core::Symbol s : db) {
+    ASSERT_LT(s, 8);
+    counts[s] += 1.0;
+  }
+  const auto expected = zipf_frequencies(8, 1.0);
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), expected[k], 0.01) << "symbol " << k;
+  }
+  // Deterministic: same seed, same stream.
+  EXPECT_EQ(zipf_database(alphabet, 1'000, 1.0, 42),
+            core::Sequence(db.begin(), db.begin() + 1'000));
+}
+
 TEST(SpikeTrain, PureNoiseHasNoGuaranteedCopies) {
   const Alphabet alphabet(10);
   SpikeTrainConfig config;

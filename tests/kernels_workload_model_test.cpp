@@ -201,6 +201,90 @@ TEST(WorkloadModel, BucketedSubseqModelTracksEngineOnUniformData) {
   EXPECT_NEAR(modeled.global_requests / measured.global_requests, 1.0, 0.10);
 }
 
+TEST(WorkloadModel, DrainRateUniformRecoversOneOverAlphabet) {
+  const std::vector<double> uniform(16, 1.0 / 16.0);
+  for (const int level : {1, 3, 8}) {
+    EXPECT_NEAR(bucket_drain_rate(uniform, level), 1.0 / 16.0, 1e-12);
+  }
+}
+
+TEST(WorkloadModel, DrainRateFallsWithSkew) {
+  // Automata park in rare-symbol buckets: the heavier the skew, the lower
+  // the expected per-position drain probability.
+  const double uniform = bucket_drain_rate(data::zipf_frequencies(32, 0.0), 2);
+  const double mild = bucket_drain_rate(data::zipf_frequencies(32, 0.5), 2);
+  const double heavy = bucket_drain_rate(data::zipf_frequencies(32, 1.0), 2);
+  EXPECT_NEAR(uniform, 1.0 / 32.0, 1e-12);
+  EXPECT_LT(mild, uniform);
+  EXPECT_LT(heavy, mild);
+  EXPECT_GT(heavy, 0.0);
+}
+
+TEST(WorkloadModel, MeasuredSymbolFreqSmoothsAbsentSymbols) {
+  const std::vector<core::Symbol> db = {0, 0, 1};
+  const auto freq = measured_symbol_freq(db, 4);
+  ASSERT_EQ(freq.size(), 4u);
+  double total = 0.0;
+  for (const double f : freq) {
+    EXPECT_GT(f, 0.0);  // Laplace smoothing keeps dead symbols positive
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(freq[0], freq[1]);
+  EXPECT_GT(freq[1], freq[2]);
+  EXPECT_DOUBLE_EQ(freq[2], freq[3]);
+}
+
+TEST(WorkloadModel, BucketedSkewAwareModelTracksEngineOnZipfData) {
+  // The ROADMAP's Zipfian pin: on a skewed stream, the measured-frequency
+  // occupancy term must keep the expectation model inside the same accuracy
+  // band the uniform test enforces, where the uniform-occupancy model
+  // overshoots (it charges 1/|alphabet| drains per automaton position, but
+  // skew parks automata in rare-symbol buckets).
+  const Alphabet alphabet(8);
+  const auto db = data::zipf_database(alphabet, 4000, 1.0, 71);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);  // 56 episodes
+
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kBlockBucketed;
+  params.threads_per_block = 32;
+  params.buffer_bytes = 256;
+
+  gpusim::EngineOptions opts;
+  opts.host_threads = 2;
+  opts.simulate_texture_cache = false;
+  const gpusim::Engine engine(gpusim::geforce_8800_gts_512(), opts);
+  const MiningRun run = run_mining_kernel(engine, db, episodes, params);
+  const auto measured = gpusim::aggregate(run.launch.profile);
+
+  WorkloadSpec spec;
+  spec.db_size = static_cast<std::int64_t>(db.size());
+  spec.episode_count = static_cast<std::int64_t>(episodes.size());
+  spec.level = 2;
+  spec.alphabet_size = alphabet.size();
+  spec.symbol_freq = measured_symbol_freq(db, alphabet.size());
+  spec.params = params;
+  const auto skew_model = gpusim::aggregate(model_profile(engine.spec(), spec));
+
+  spec.symbol_freq.clear();
+  const auto uniform_model = gpusim::aggregate(model_profile(engine.spec(), spec));
+
+  // Deterministic fields are unaffected by the drain expectation.
+  EXPECT_EQ(skew_model.blocks, measured.blocks);
+  EXPECT_EQ(skew_model.syncs, measured.syncs);
+  EXPECT_DOUBLE_EQ(skew_model.tex_requests, measured.tex_requests);
+  EXPECT_DOUBLE_EQ(skew_model.shared_requests, measured.shared_requests);
+
+  // Skew-aware model: inside the expectation band.
+  EXPECT_NEAR(skew_model.lane_instructions / measured.lane_instructions, 1.0, 0.10);
+  EXPECT_NEAR(skew_model.global_requests / measured.global_requests, 1.0, 0.15);
+
+  // The uniform model misses high on this stream, and by more than the
+  // skew-aware band — the term exists because it changes the prediction.
+  EXPECT_GT(uniform_model.lane_instructions, skew_model.lane_instructions * 1.05);
+  EXPECT_GT(uniform_model.global_requests / measured.global_requests, 1.15);
+}
+
 TEST(WorkloadModel, BucketedPerSymbolWorkScalesWithBucketOccupancy) {
   // The acceptance property of the formulation: the modeled per-symbol work
   // term scales with bucket occupancy |episodes|/|alphabet|, not |episodes|.

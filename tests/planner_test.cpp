@@ -1,0 +1,259 @@
+// The planner's contract: shape-dependent picks that match the paper's
+// characterization (dense formulations for small-alphabet/huge-episode
+// shapes, bucket-indexed ones for large alphabets), capability gates that
+// are never violated (no pick above a backend's max_level), determinism, and
+// an explanation for every rejection.  AutoBackend rides along: per-level
+// re-planning must stay bit-exact with the serial reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_support/paper_setup.hpp"
+#include "core/cpu_backend.hpp"
+#include "core/miner.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "planner/auto_backend.hpp"
+#include "planner/cpu_cost_model.hpp"
+#include "planner/planner.hpp"
+#include "planner/workload.hpp"
+
+namespace gm::planner {
+namespace {
+
+Workload basic_workload() {
+  Workload w;
+  w.db_size = 393'019;
+  w.episode_count = 650;
+  w.level = 2;
+  w.alphabet_size = 26;
+  return w;
+}
+
+PlannerOptions deterministic_options() {
+  PlannerOptions options;
+  options.cpu_threads = 4;  // pin: hardware concurrency varies by machine
+  return options;
+}
+
+bool is_bucket_indexed(const CandidateConfig& config) {
+  if (config.kind == BackendKind::kCpuSingleScan) return true;
+  return config.kind == BackendKind::kGpuSim && kernels::is_bucketed(config.algorithm);
+}
+
+TEST(Planner, PicksDenseGpuPathForSmallAlphabetHugeEpisodeShapes) {
+  // The paper's level-3 evaluation shape: 15,600 candidates over 26 symbols.
+  // Bucket occupancy |eps|/|alphabet| = 600 makes the bucketed formulations
+  // hopeless; a dense GPU formulation must win.
+  Workload w = basic_workload();
+  w.episode_count = 15'600;
+  w.level = 3;
+  const Plan plan = plan_level(w, deterministic_options());
+  ASSERT_TRUE(plan.winner().feasible);
+  EXPECT_EQ(plan.winner().config.kind, BackendKind::kGpuSim);
+  EXPECT_FALSE(is_bucket_indexed(plan.winner().config));
+}
+
+TEST(Planner, PicksBucketedPathForLargeAlphabetShapes) {
+  // Large alphabet, few candidates: per-symbol bucket occupancy is tiny, so
+  // a bucket-indexed formulation (host single-scan or Algorithm 5) wins.
+  Workload w;
+  w.db_size = 2'000'000;
+  w.episode_count = 400;
+  w.level = 3;
+  w.alphabet_size = 200;
+  const Plan plan = plan_level(w, deterministic_options());
+  ASSERT_TRUE(plan.winner().feasible);
+  EXPECT_TRUE(is_bucket_indexed(plan.winner().config)) << plan.winner().config.label();
+}
+
+TEST(Planner, GpuOnlyPlannerFlipsToBucketedKernelOnLargeAlphabets) {
+  // Same flip inside the GPU candidate family alone: the block-bucketed
+  // kernel must beat the dense formulations once the alphabet dwarfs the
+  // per-thread bucket occupancy.
+  PlannerOptions options = deterministic_options();
+  options.enable_cpu = false;
+  Workload w;
+  w.db_size = 500'000;
+  w.episode_count = 20'000;
+  w.level = 3;
+  w.alphabet_size = 200;
+  const Plan plan = plan_level(w, options);
+  ASSERT_TRUE(plan.winner().feasible);
+  ASSERT_EQ(plan.winner().config.kind, BackendKind::kGpuSim);
+  EXPECT_EQ(plan.winner().config.algorithm, kernels::Algorithm::kBlockBucketed)
+      << plan.winner().config.label();
+}
+
+TEST(Planner, NeverPicksBackendWhoseMaxLevelIsBelowRequest) {
+  Workload w = basic_workload();
+  w.level = kernels::kMaxLevel + 1;
+  w.episode_count = 10;
+  const PlannerOptions options = deterministic_options();
+  const Plan plan = plan_level(w, options);
+
+  // The pick must come from a family whose constructed backend can count the
+  // level; every GPU candidate must be rejected with a reason naming the cap.
+  const auto backend = make_planned_backend(plan.winner().config, options);
+  EXPECT_TRUE(backend->max_level() == 0 || backend->max_level() >= w.level);
+  for (const ScoredCandidate& c : plan.table) {
+    if (c.config.kind == BackendKind::kGpuSim) {
+      EXPECT_FALSE(c.feasible);
+      EXPECT_NE(c.reason.find("max_level"), std::string::npos) << c.reason;
+    }
+  }
+}
+
+TEST(Planner, IsDeterministicAndExplainsEveryRejection) {
+  Workload w = basic_workload();
+  w.level = kernels::kMaxLevel + 2;  // force a mixed feasible/rejected table
+  const PlannerOptions options = deterministic_options();
+  const Plan a = plan_level(w, options);
+  const Plan b = plan_level(w, options);
+
+  ASSERT_EQ(a.table.size(), b.table.size());
+  for (std::size_t i = 0; i < a.table.size(); ++i) {
+    EXPECT_EQ(a.table[i].config.label(), b.table[i].config.label());
+    EXPECT_EQ(a.table[i].feasible, b.table[i].feasible);
+    EXPECT_DOUBLE_EQ(a.table[i].predicted_ms, b.table[i].predicted_ms);
+    EXPECT_EQ(a.table[i].reason, b.table[i].reason);
+  }
+  EXPECT_EQ(a.explanation, b.explanation);
+  EXPECT_FALSE(a.explanation.empty());
+  for (const ScoredCandidate& c : a.table) {
+    EXPECT_FALSE(c.reason.empty()) << c.config.label();
+  }
+  // Feasible candidates are sorted fastest-first ahead of the rejected tail.
+  bool seen_infeasible = false;
+  double last_ms = 0.0;
+  for (const ScoredCandidate& c : a.table) {
+    if (!c.feasible) {
+      seen_infeasible = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_infeasible) << "feasible candidate after a rejected one";
+    EXPECT_GE(c.predicted_ms, last_ms);
+    last_ms = c.predicted_ms;
+  }
+}
+
+TEST(Planner, RejectsOversizedThreadsPerBlockWithReason) {
+  PlannerOptions options = deterministic_options();
+  options.tpb_sweep = {64, 4096};  // above every paper card's block limit
+  const Plan plan = plan_level(basic_workload(), options);
+  bool saw_rejected_tpb = false;
+  for (const ScoredCandidate& c : plan.table) {
+    if (c.config.kind == BackendKind::kGpuSim && c.config.threads_per_block == 4096) {
+      EXPECT_FALSE(c.feasible);
+      EXPECT_NE(c.reason.find("device limit"), std::string::npos) << c.reason;
+      saw_rejected_tpb = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejected_tpb);
+}
+
+TEST(Planner, ThrowsWhenNoCandidateIsFeasible) {
+  PlannerOptions options = deterministic_options();
+  options.enable_cpu = false;  // GPU only...
+  Workload w = basic_workload();
+  w.level = kernels::kMaxLevel + 1;  // ...and every GPU candidate is capped
+  EXPECT_THROW((void)plan_level(w, options), gm::PreconditionError);
+}
+
+TEST(Planner, SkewedFrequenciesLowerBucketIndexedPredictions) {
+  Workload uniform;
+  uniform.db_size = 1'000'000;
+  uniform.episode_count = 500;
+  uniform.level = 2;
+  uniform.alphabet_size = 64;
+  Workload skewed = uniform;
+  skewed.symbol_freq = data::zipf_frequencies(64, 1.0);
+
+  const CpuCostConstants constants;
+  EXPECT_LT(predict_cpu_single_scan_ms(skewed, constants),
+            predict_cpu_single_scan_ms(uniform, constants));
+  // Dense backends are occupancy-blind: unchanged by skew.
+  EXPECT_DOUBLE_EQ(predict_cpu_serial_ms(skewed, constants),
+                   predict_cpu_serial_ms(uniform, constants));
+}
+
+TEST(Planner, WorkloadOfMeasuresShapeAndSkew) {
+  const core::Alphabet alphabet(16);
+  const auto db = data::zipf_database(alphabet, 20'000, 1.0, 9);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  const Workload w = workload_of(request, alphabet.size());
+
+  EXPECT_EQ(w.db_size, 20'000);
+  EXPECT_EQ(w.episode_count, static_cast<std::int64_t>(episodes.size()));
+  EXPECT_EQ(w.level, 2);
+  EXPECT_EQ(w.alphabet_size, 16);
+  ASSERT_EQ(w.symbol_freq.size(), 16u);
+  EXPECT_GT(w.symbol_freq[0], w.symbol_freq[15]);  // measured skew, not uniform
+}
+
+TEST(AutoBackend, MatchesSerialReferenceAcrossLevels) {
+  const core::Alphabet alphabet(12);
+  const auto db = data::uniform_database(alphabet, 8'000, 77);
+
+  core::MinerConfig config;
+  config.support_threshold = 0.0004;
+  config.max_level = 3;
+
+  core::SerialCpuBackend reference;
+  const auto expected = core::mine_frequent_episodes(db, alphabet, reference, config);
+
+  AutoBackend adaptive{deterministic_options()};
+  const auto actual = core::mine_frequent_episodes(db, alphabet, adaptive, config);
+
+  ASSERT_EQ(actual.frequent.size(), expected.frequent.size());
+  for (std::size_t i = 0; i < actual.frequent.size(); ++i) {
+    EXPECT_EQ(actual.frequent[i].episode, expected.frequent[i].episode);
+    EXPECT_EQ(actual.frequent[i].count, expected.frequent[i].count);
+  }
+  // One recorded plan per mining level, each with a usable explanation.
+  ASSERT_EQ(adaptive.plans().size(), expected.levels.size());
+  for (const Plan& plan : adaptive.plans()) {
+    EXPECT_FALSE(plan.explanation.empty());
+    EXPECT_TRUE(plan.winner().feasible);
+  }
+}
+
+TEST(AutoBackend, ReusesConstructedBackendsAcrossLevels) {
+  // Same stream counted twice at the same level shape: the second call must
+  // plan again (two plans) but reuse the cached backend (identical pick).
+  const core::Alphabet alphabet(10);
+  const auto db = data::uniform_database(alphabet, 5'000, 3);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+
+  AutoBackend adaptive{deterministic_options()};
+  const auto first = adaptive.count(request);
+  const auto second = adaptive.count(request);
+  EXPECT_EQ(first.counts, second.counts);
+  ASSERT_EQ(adaptive.plans().size(), 2u);
+  EXPECT_EQ(adaptive.plans()[0].winner().config.label(),
+            adaptive.plans()[1].winner().config.label());
+}
+
+TEST(AutoBackend, MakeBackendSpellsAuto) {
+  bench::BackendSpec spec;
+  spec.name = "auto";
+  spec.threads = 2;
+  spec.card = "8800";
+  const auto backend = bench::make_backend(spec);
+  ASSERT_NE(dynamic_cast<AutoBackend*>(backend.get()), nullptr);
+  EXPECT_EQ(backend->max_level(), 0);  // CPU fallback keeps it unbounded
+
+  const auto names = bench::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "auto"), names.end());
+}
+
+}  // namespace
+}  // namespace gm::planner

@@ -17,6 +17,7 @@
 //                    [--gpu] [--card 8800|gx2|gtx280] [--tpb N]
 //                    [--validate-planner] [--tpb-sweep A,B,...]
 //                    [--max-regret R] [--json PATH]
+//                    [--calibration PROFILE.json] [--fit-calibration OUT.json]
 //
 // --gpu additionally runs every simulated-GPU formulation (algorithms 1-5)
 // through the functional engine and cross-checks its counts end to end; use
@@ -36,6 +37,16 @@
 // BENCH artifact (the CI bench job uploads it).  --zipf S draws the database
 // from a Zipf(S) symbol distribution instead of uniform, exercising the
 // skew-aware occupancy terms end to end.
+//
+// Calibration: --fit-calibration OUT.json (implies --validate-planner) fits
+// a CalibrationProfile — the planner's cost constants — from this run's
+// measured (candidate, time) samples plus the paper-figure probes of
+// bench/calibration_table (weight 0.1), and persists it as JSON.
+// --calibration PROFILE.json loads a previously fitted profile in place of
+// the shipped constants, so `--fit-calibration out.json` followed by
+// `--calibration out.json --validate-planner` demonstrates the regret drop
+// on the host that produced the profile (the seeded RNG makes both runs see
+// the same stream and candidate sets).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -46,7 +57,10 @@
 
 #include "bench_support/cli_args.hpp"
 #include "bench_support/json.hpp"
+#include "bench_support/paper_refs.hpp"
 #include "bench_support/paper_setup.hpp"
+#include "calib/calibration.hpp"
+#include "calib/fitter.hpp"
 #include "common/rng.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/cpu_backend.hpp"
@@ -75,6 +89,8 @@ struct Options {
   std::vector<int> tpb_sweep;      ///< planner validation; empty = {tpb}
   double max_regret = 0.0;         ///< planner validation gate; 0 = report only
   std::string json_path;           ///< planner validation artifact; empty = none
+  std::string calibration_path;    ///< fitted profile to load; empty = shipped
+  std::string fit_path;            ///< profile to fit and write; empty = no fit
   gm::core::Semantics semantics = gm::core::Semantics::kNonOverlappedSubsequence;
 };
 
@@ -119,9 +135,22 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
   if (!opt.tpb_sweep.empty()) popt.tpb_sweep = opt.tpb_sweep;
   else if (opt.gpu) popt.tpb_sweep = {opt.tpb};
 
-  std::printf("planner validation: card=%s gpu=%s levels=1..%d max-regret=%s\n\n",
+  // Applying the default (shipped) profile is a bit-identical no-op, so the
+  // load-and-apply path is exercised on every validation run.
+  gm::calib::CalibrationProfile profile;
+  if (!opt.calibration_path.empty()) {
+    profile = gm::calib::load_profile(opt.calibration_path);
+    std::printf("loaded calibration %s (source=%s, %d samples%s%s)\n",
+                opt.calibration_path.c_str(), profile.source.c_str(), profile.sample_count,
+                profile.host.empty() ? "" : ", fitted on ",
+                profile.host.empty() ? "" : profile.host.c_str());
+  }
+  gm::calib::apply_profile(profile, popt);
+
+  std::printf("planner validation: card=%s gpu=%s levels=1..%d max-regret=%s calibration=%s\n\n",
               opt.card.c_str(), opt.gpu ? "yes" : "no", opt.level,
-              opt.max_regret > 0 ? std::to_string(opt.max_regret).c_str() : "off");
+              opt.max_regret > 0 ? std::to_string(opt.max_regret).c_str() : "off",
+              opt.calibration_path.empty() ? "shipped" : opt.calibration_path.c_str());
 
   gm::bench::JsonWriter json;
   json.begin_object();
@@ -140,11 +169,15 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
   json.end_object();
   json.field("max_regret_gate", opt.max_regret);
   json.field("regret_floor_ms", kRegretFloorMs);
+  json.field("calibration",
+             opt.calibration_path.empty() ? "shipped" : opt.calibration_path);
+  json.field("calibration_source", profile.source);
   json.key("levels").begin_array();
 
   bool gate_failed = false;
   bool all_agree = true;
   double worst_regret = 1.0;
+  std::vector<gm::calib::FitSample> fit_samples;
 
   for (int level = 1; level <= opt.level; ++level) {
     // Level 1 counts every singleton (as the miner does); deeper levels use
@@ -191,6 +224,15 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
       }
       measured[i] = best_ms;
       best_measured = std::min(best_measured, best_ms);
+      if (!opt.fit_path.empty()) {
+        gm::calib::FitSample sample;
+        sample.workload = workload;
+        sample.config = candidate.config;
+        sample.device = popt.device;
+        sample.cost_params = popt.cost_params;
+        sample.measured_ms = best_ms;
+        fit_samples.push_back(std::move(sample));
+      }
       // Exactness ride-along (free: the counts were just computed).  The
       // planner's require_exact gate keeps approximate formulations out of
       // the feasible table, so every measured candidate must agree.
@@ -251,6 +293,47 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
   json.end_array();
   json.field("worst_regret", worst_regret);
   json.field("agree", all_agree);
+
+  if (!opt.fit_path.empty()) {
+    // Fit from this run's measurements, anchored by the paper-figure probes
+    // at a tenth of the weight, starting from whatever profile this run
+    // loaded (so fits can be refined incrementally).
+    const std::size_t measured_count = fit_samples.size();
+    for (gm::calib::FitSample& ref : gm::bench::paper_reference_samples(0.1)) {
+      fit_samples.push_back(std::move(ref));
+    }
+    gm::calib::CalibrationProfile fitted = profile;
+    const gm::calib::FitReport fit = gm::calib::fit_profile(fitted, fit_samples);
+    char host[192];
+    std::snprintf(host, sizeof(host),
+                  "db=%lld alphabet=%d episodes=%d level=%d threads=%d expiry=%lld "
+                  "zipf=%g gpu=%s card=%s seed=%llu",
+                  static_cast<long long>(opt.db_size), opt.alphabet, opt.episodes,
+                  opt.level, gm::core::resolved_thread_count(opt.threads),
+                  static_cast<long long>(opt.expiry), opt.zipf, opt.gpu ? "yes" : "no",
+                  opt.card.c_str(), static_cast<unsigned long long>(opt.seed));
+    fitted.host = host;
+    gm::calib::save_profile(fitted, opt.fit_path);
+    std::printf(
+        "fitted calibration from %zu measured + %zu paper-ref samples: "
+        "loss %.4f -> %.4f in %d sweeps, %zu constants adjusted\nwrote %s\n",
+        measured_count, fit_samples.size() - measured_count, fit.initial_loss,
+        fit.final_loss, fit.sweeps, fit.adjusted.size(), opt.fit_path.c_str());
+
+    json.key("fit").begin_object();
+    json.field("path", opt.fit_path);
+    json.field("measured_samples", static_cast<std::int64_t>(measured_count));
+    json.field("paper_ref_samples",
+               static_cast<std::int64_t>(fit_samples.size() - measured_count));
+    json.field("initial_loss", fit.initial_loss);
+    json.field("final_loss", fit.final_loss);
+    json.field("sweeps", fit.sweeps);
+    json.key("adjusted").begin_array();
+    for (const std::string& name : fit.adjusted) json.value(name);
+    json.end_array();
+    json.end_object();
+  }
+
   json.end_object();
   if (!opt.json_path.empty()) {
     json.write_file(opt.json_path);
@@ -313,6 +396,8 @@ int main(int argc, char** argv) {
       else if (arg == "--max-regret")
         opt.max_regret = gm::bench::parse_double(arg, next(), 1.0, 1000.0);
       else if (arg == "--json") opt.json_path = next();
+      else if (arg == "--calibration") opt.calibration_path = next();
+      else if (arg == "--fit-calibration") opt.fit_path = next();
       else if (arg == "--semantics") {
         const std::string name = next();
         if (name == "contig") opt.semantics = gm::core::Semantics::kContiguousRestart;
@@ -333,9 +418,13 @@ int main(int argc, char** argv) {
     std::cerr << "invalid configuration: --level exceeds --alphabet\n";
     return 2;
   }
+  // Fitting runs the same plan-and-measure loop validation does.
+  if (!opt.fit_path.empty()) opt.validate_planner = true;
   if (!opt.validate_planner &&
-      (opt.max_regret > 0 || !opt.json_path.empty() || !opt.tpb_sweep.empty())) {
-    std::cerr << "--max-regret/--json/--tpb-sweep only apply with --validate-planner\n";
+      (opt.max_regret > 0 || !opt.json_path.empty() || !opt.tpb_sweep.empty() ||
+       !opt.calibration_path.empty())) {
+    std::cerr << "--max-regret/--json/--tpb-sweep/--calibration only apply with "
+                 "--validate-planner\n";
     return 2;
   }
 

@@ -11,63 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/paper_refs.hpp"
 #include "bench_support/paper_setup.hpp"
 #include "kernels/mining_kernels.hpp"
 
-namespace {
-
-using gm::bench::paper_time_ms;
-using gm::kernels::Algorithm;
-
-struct Reference {
-  std::string figure;
-  std::string card;
-  Algorithm algorithm;
-  int level;
-  int tpb;
-  double paper_ms;  ///< approximate reading from the figure
-};
-
-const std::vector<Reference> kReferences = {
-    // Fig 9(a): Algo1 L1 — flat, clock-ordered (8800 fastest).
-    {"9a", "8800", Algorithm::kThreadTexture, 1, 128, 127.0},
-    {"9a", "gx2", Algorithm::kThreadTexture, 1, 128, 140.0},
-    {"9a", "gtx280", Algorithm::kThreadTexture, 1, 128, 160.0},
-    {"9a", "gtx280", Algorithm::kThreadTexture, 1, 512, 290.0},
-    // Fig 8(a)/9(b): Algo1 L2 — flat bands 165/180/215.
-    {"8a", "8800", Algorithm::kThreadTexture, 2, 256, 165.0},
-    {"8a", "gx2", Algorithm::kThreadTexture, 2, 256, 180.0},
-    {"8a", "gtx280", Algorithm::kThreadTexture, 2, 256, 215.0},
-    // Fig 9(c): Algo1 L3.
-    {"9c", "gtx280", Algorithm::kThreadTexture, 3, 96, 300.0},
-    {"9c", "gtx280", Algorithm::kThreadTexture, 3, 512, 700.0},
-    // Fig 9(d-f): Algo2.
-    {"9d", "gtx280", Algorithm::kThreadBuffered, 1, 512, 45.0},
-    {"9e", "gtx280", Algorithm::kThreadBuffered, 2, 512, 50.0},
-    {"9f", "gtx280", Algorithm::kThreadBuffered, 3, 96, 200.0},
-    {"9f", "gtx280", Algorithm::kThreadBuffered, 3, 512, 500.0},
-    // Fig 8(b)/9(g): Algo3 L1 — bandwidth-split plateaus.
-    {"8b", "8800", Algorithm::kBlockTexture, 1, 16, 13.0},
-    {"8b", "8800", Algorithm::kBlockTexture, 1, 256, 6.0},
-    {"8b", "gtx280", Algorithm::kBlockTexture, 1, 256, 2.0},
-    // Fig 7(b)/9(h): Algo3 L2 — best overall at 64 threads.
-    {"7b", "gtx280", Algorithm::kBlockTexture, 2, 64, 70.0},
-    {"7b", "gtx280", Algorithm::kBlockTexture, 2, 512, 200.0},
-    // Fig 9(i): Algo3 L3.
-    {"9i", "gtx280", Algorithm::kBlockTexture, 3, 512, 2000.0},
-    {"9i", "8800", Algorithm::kBlockTexture, 3, 512, 3700.0},
-    // Fig 9(j): Algo4 L1 — sub-ms to few-ms; best config of C4.
-    {"9j", "gtx280", Algorithm::kBlockBuffered, 1, 256, 1.0},
-    {"9j", "gtx280", Algorithm::kBlockBuffered, 1, 16, 6.0},
-    // Fig 7(b)/9(k): Algo4 L2 — crossing Algo3 near 240 threads.
-    {"7b", "gtx280", Algorithm::kBlockBuffered, 2, 16, 450.0},
-    {"7b", "gtx280", Algorithm::kBlockBuffered, 2, 256, 120.0},
-    // Fig 9(l): Algo4 L3.
-    {"9l", "gtx280", Algorithm::kBlockBuffered, 3, 96, 900.0},
-    {"9l", "8800", Algorithm::kBlockBuffered, 3, 512, 1700.0},
-};
-
-}  // namespace
+using gm::bench::paper_references;
 
 int main() {
   std::cout << "Calibration: model predictions vs. paper figure readings\n";
@@ -77,7 +25,7 @@ int main() {
             << "ratio" << "  bound-by\n";
 
   double log_error = 0.0;
-  for (const auto& r : kReferences) {
+  for (const auto& r : paper_references()) {
     const auto device = gpusim::device_by_name(r.card);
     const auto breakdown = gm::bench::paper_breakdown(device, r.algorithm, r.level, r.tpb);
     const double ratio = breakdown.total_ms / r.paper_ms;
@@ -89,7 +37,7 @@ int main() {
               << std::setw(10) << ratio << "  " << breakdown.bound_by << "\n";
   }
   std::cout << "\nmean |log ratio| = " << std::setprecision(3)
-            << log_error / kReferences.size()
+            << log_error / paper_references().size()
             << "  (0 = perfect; 0.69 = factor of 2 off on average)\n";
   return 0;
 }

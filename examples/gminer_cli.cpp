@@ -12,6 +12,10 @@
 //                                  5 = block-bucketed single-scan)
 //     --explain                    with --backend auto: dump each level's
 //                                  full planner decision table to stderr
+//     --calibration <file>         with --backend auto: load a fitted
+//                                  calibration profile (see backend_shootout
+//                                  --fit-calibration) instead of the shipped
+//                                  cost constants
 //     --tpb <n>                    threads per block      (default 64)
 //     --support <alpha>            support threshold      (default 0.001)
 //     --max-level <L>              episode length bound   (default 3)
@@ -43,7 +47,8 @@ void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--backend <name>] [--threads N] [--card 8800|gx2|gtx280]\n"
          "       [--algo 1..5] [--tpb N] [--support A] [--max-level L] [--expiry W]\n"
-         "       [--semantics subseq|contig] [--cpu] [--demo] [--explain] [dataset.txt]\n"
+         "       [--semantics subseq|contig] [--cpu] [--demo] [--explain]\n"
+         "       [--calibration profile.json] [dataset.txt]\n"
          "backends:";
   for (const auto name : gm::bench::backend_names()) out << " " << name;
   out << "\n";
@@ -71,6 +76,7 @@ int main(int argc, char** argv) {
   std::int64_t expiry = 0;
   bool demo = false;
   bool explain = false;
+  std::string calibration_path;
   std::string semantics_name = "subseq";
   std::string dataset_path;
 
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
                                   semantics_name + "'");
         }
       }
+      else if (arg == "--calibration") calibration_path = next();
       else if (arg == "--cpu") backend_name = "cpu-serial";
       else if (arg == "--demo") demo = true;
       else if (arg == "--explain") explain = true;
@@ -137,12 +144,17 @@ int main(int argc, char** argv) {
       config.semantics = core::Semantics::kContiguousRestart;
     }
 
+    if (!calibration_path.empty() && backend_name != "auto") {
+      std::cerr << "error: --calibration only applies to --backend auto\n";
+      return usage(argv[0]);
+    }
     bench::BackendSpec spec;
     spec.name = backend_name;
     spec.threads = threads;
     spec.card = card;
     spec.launch.algorithm = static_cast<kernels::Algorithm>(algo);
     spec.launch.threads_per_block = tpb;
+    spec.calibration = calibration_path;
     std::unique_ptr<core::CountingBackend> backend;
     try {
       backend = bench::make_backend(spec);

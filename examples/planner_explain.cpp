@@ -9,6 +9,7 @@
 //
 // --json writes the same tables as a machine-readable BENCH artifact (the CI
 // bench job uploads it as BENCH_planner.json).
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "bench_support/cli_args.hpp"
 #include "bench_support/json.hpp"
 #include "bench_support/paper_setup.hpp"
+#include "calib/calibration.hpp"
 #include "core/cpu_backend.hpp"
 #include "data/generators.hpp"
 #include "planner/planner.hpp"
@@ -72,12 +74,49 @@ std::vector<Shape> reference_shapes() {
   return shapes;
 }
 
+/// Fitted prediction for the candidate labelled `label`, or a negative
+/// sentinel when the fitted plan rejected it.
+double predicted_for(const gm::planner::Plan& plan, const std::string& label) {
+  for (const auto& candidate : plan.table) {
+    if (candidate.config.label() == label) {
+      return candidate.feasible ? candidate.predicted_ms : -1.0;
+    }
+  }
+  return -1.0;
+}
+
+/// The side-by-side shipped-vs-fitted table for one shape.
+void print_diff(const gm::planner::Plan& shipped, const gm::planner::Plan& fitted) {
+  std::printf("  %-24s %14s %14s %8s  note\n", "candidate", "shipped ms", "fitted ms",
+              "ratio");
+  for (const auto& candidate : shipped.table) {
+    const std::string label = candidate.config.label();
+    const double fitted_ms = predicted_for(fitted, label);
+    if (!candidate.feasible || fitted_ms < 0) {
+      std::printf("  %-24s %14s %14s %8s  rejected\n", label.c_str(),
+                  candidate.feasible ? "ok" : "-", fitted_ms < 0 ? "-" : "ok", "-");
+      continue;
+    }
+    std::printf("  %-24s %14.3f %14.3f %8.2f%s\n", label.c_str(), candidate.predicted_ms,
+                fitted_ms, fitted_ms / candidate.predicted_ms,
+                label == fitted.winner().config.label()
+                    ? "  <- fitted pick"
+                    : (label == shipped.winner().config.label() ? "  <- shipped pick" : ""));
+  }
+  const bool flipped =
+      shipped.winner().config.label() != fitted.winner().config.label();
+  std::printf("  => pick %s: shipped %s, fitted %s\n", flipped ? "FLIPPED" : "unchanged",
+              shipped.winner().config.label().c_str(),
+              fitted.winner().config.label().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string card = "gtx280";
   int threads = 0;
   std::string json_path;
+  std::string calibration_path;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -91,9 +130,10 @@ int main(int argc, char** argv) {
       if (arg == "--card") card = next();
       else if (arg == "--threads") threads = gm::bench::parse_int(arg, next(), 0, 1 << 20);
       else if (arg == "--json") json_path = next();
+      else if (arg == "--calibration") calibration_path = next();
       else {
         std::cerr << "usage: " << argv[0] << " [--card 8800|gx2|gtx280] [--threads T]"
-                  << " [--json PATH]\n";
+                  << " [--json PATH] [--calibration PROFILE.json]\n";
         return 2;
       }
     }
@@ -102,16 +142,33 @@ int main(int argc, char** argv) {
     options.device = gpusim::device_by_name(card);
     options.cpu_threads = threads;
 
+    const bool have_calibration = !calibration_path.empty();
+    gm::planner::PlannerOptions fitted_options = options;
+    if (have_calibration) {
+      const auto profile = gm::calib::load_profile(calibration_path);
+      gm::calib::apply_profile(profile, fitted_options);
+      std::cout << "calibration: " << calibration_path << " (source=" << profile.source
+                << ", " << profile.sample_count << " samples)\n\n";
+    }
+
     gm::bench::JsonWriter json;
     json.begin_object();
     json.field("driver", "planner_explain");
     json.field("card", card);
     json.field("cpu_threads", gm::core::resolved_thread_count(threads));
+    json.field("calibration", have_calibration ? calibration_path : "shipped");
     json.key("shapes").begin_array();
 
     for (const auto& [name, workload] : reference_shapes()) {
       const gm::planner::Plan plan = gm::planner::plan_level(workload, options);
-      std::cout << "=== " << name << " ===\n" << gm::planner::format_plan(plan) << "\n";
+      std::cout << "=== " << name << " ===\n" << gm::planner::format_plan(plan);
+      gm::planner::Plan fitted_plan;
+      if (have_calibration) {
+        fitted_plan = gm::planner::plan_level(workload, fitted_options);
+        std::cout << "shipped vs fitted:\n";
+        print_diff(plan, fitted_plan);
+      }
+      std::cout << "\n";
 
       json.begin_object();
       json.field("name", name);
@@ -127,12 +184,22 @@ int main(int argc, char** argv) {
       json.field("pick", plan.winner().config.label());
       json.field("pick_predicted_ms", plan.winner().predicted_ms);
       json.field("explanation", plan.explanation);
+      if (have_calibration) {
+        json.field("fitted_pick", fitted_plan.winner().config.label());
+        json.field("fitted_pick_predicted_ms", fitted_plan.winner().predicted_ms);
+        json.field("pick_changed",
+                   plan.winner().config.label() != fitted_plan.winner().config.label());
+      }
       json.key("candidates").begin_array();
       for (const auto& candidate : plan.table) {
         json.begin_object();
         json.field("label", candidate.config.label());
         json.field("feasible", candidate.feasible);
         json.field("predicted_ms", candidate.feasible ? candidate.predicted_ms : -1.0);
+        if (have_calibration) {
+          json.field("fitted_predicted_ms",
+                     predicted_for(fitted_plan, candidate.config.label()));
+        }
         json.field("note", candidate.reason);
         json.end_object();
       }

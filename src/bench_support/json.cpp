@@ -1,8 +1,11 @@
 #include "bench_support/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <system_error>
 
 #include "common/error.hpp"
 
@@ -18,6 +21,8 @@ void append_escaped(std::string& out, std::string_view text) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -103,9 +108,12 @@ JsonWriter& JsonWriter::value(double number) {
     out_ += "null";  // JSON has no inf/nan
     return *this;
   }
+  // Shortest representation that parses back to the same double: fitted
+  // calibration profiles round-trip losslessly through write -> parse.
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.9g", number);
-  out_ += buf;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+  gm::ensure(ec == std::errc{}, "double formatting overflowed its buffer");
+  out_.append(buf, ptr);
   return *this;
 }
 
@@ -126,10 +134,323 @@ const std::string& JsonWriter::str() const {
   return out_;
 }
 
-void JsonWriter::write_file(const std::string& path) const {
+void JsonWriter::write_file(const std::string& path) const { write_json_file(str(), path); }
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser over a string_view; `pos_` is the byte offset
+/// every error message carries.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after the JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    gm::raise_precondition("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                           what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (!consume_literal("\\u")) fail("unpaired UTF-16 surrogate");
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  /// JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// (stricter than from_chars, which would accept leading zeros).
+  static bool valid_number(std::string_view t) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t j) {
+      return j < t.size() && t[j] >= '0' && t[j] <= '9';
+    };
+    if (i < t.size() && t[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (t[i] == '0') {
+      ++i;
+    } else {
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && t[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+      ++i;
+      if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == t.size();
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (!valid_number(token) || ec != std::errc{} ||
+        ptr != token.data() + token.size()) {
+      pos_ = start;
+      fail("malformed number '" + std::string(token) + "'");
+    }
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return out;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than the reader's limit");
+    skip_whitespace();
+    JsonValue out;
+    switch (peek()) {
+      case '{': {
+        expect('{');
+        out.kind = JsonValue::Kind::kObject;
+        skip_whitespace();
+        if (peek() == '}') {
+          ++pos_;
+          break;
+        }
+        while (true) {
+          skip_whitespace();
+          std::string key = parse_string();
+          skip_whitespace();
+          expect(':');
+          out.object.emplace_back(std::move(key), parse_value());
+          skip_whitespace();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          break;
+        }
+        break;
+      }
+      case '[': {
+        expect('[');
+        out.kind = JsonValue::Kind::kArray;
+        skip_whitespace();
+        if (peek() == ']') {
+          ++pos_;
+          break;
+        }
+        while (true) {
+          out.array.push_back(parse_value());
+          skip_whitespace();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          break;
+        }
+        break;
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        out.string = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("expected 'true'");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("expected 'false'");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("expected 'null'");
+        break;
+      default: out = parse_number(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  gm::expects(kind == Kind::kBool, "JSON value is not a boolean");
+  return boolean;
+}
+
+double JsonValue::as_double() const {
+  gm::expects(kind == Kind::kNumber, "JSON value is not a number");
+  return number;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  gm::expects(kind == Kind::kNumber, "JSON value is not a number");
+  // Range before cast: converting an out-of-range double to int64 is UB.
+  // 2^63 is exactly representable; the valid doubles are [-2^63, 2^63).
+  gm::expects(number >= -9223372036854775808.0 && number < 9223372036854775808.0,
+              "JSON number is not an integer");
+  const auto as_int = static_cast<std::int64_t>(number);
+  gm::expects(static_cast<double>(as_int) == number, "JSON number is not an integer");
+  return as_int;
+}
+
+const std::string& JsonValue::as_string() const {
+  gm::expects(kind == Kind::kString, "JSON value is not a string");
+  return string;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  gm::expects(kind == Kind::kObject, "JSON member lookup on a non-object");
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    gm::raise_precondition("JSON object has no member '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+JsonValue parse_json(std::string_view text) { return JsonParser(text).parse_document(); }
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream file(path);
+  gm::expects(file.good(), "cannot open '" + path + "' for reading");
+  std::string text((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  gm::expects(!file.bad(), "failed reading '" + path + "'");
+  return parse_json(text);
+}
+
+void write_json_file(std::string_view text, const std::string& path) {
   std::ofstream file(path);
   gm::expects(file.good(), "cannot open '" + path + "' for writing");
-  file << str() << '\n';
+  file << text << '\n';
   file.close();
   gm::expects(file.good(), "failed writing '" + path + "'");
 }

@@ -1,9 +1,11 @@
 // Minimal streaming JSON emitter for the machine-readable benchmark
-// artifacts (BENCH_*.json): the CI bench job uploads what the drivers write
-// here, and downstream tooling (regression dashboards, the regret gate)
-// parses it.  Commas and nesting are managed automatically; misuse (a value
-// in an object without a key, unbalanced end calls) trips a precondition
-// error rather than emitting malformed JSON.
+// artifacts (BENCH_*.json), plus the matching reader: the CI bench job
+// uploads what the drivers write here, and downstream tooling (regression
+// dashboards, the regret gate, the calibration-profile loader) parses it.
+// Commas and nesting are managed automatically; misuse (a value in an object
+// without a key, unbalanced end calls) trips a precondition error rather
+// than emitting malformed JSON.  The reader (`parse_json`) accepts exactly
+// standard JSON — everything the writer emits round-trips losslessly.
 #pragma once
 
 #include <cstdint>
@@ -55,5 +57,47 @@ class JsonWriter {
   std::vector<bool> has_items_;
   bool pending_key_ = false;
 };
+
+/// A parsed JSON value: a small tagged tree, enough to read back the BENCH_*
+/// artifacts and calibration profiles this repo writes.  Object members keep
+/// document order (and may legally repeat; lookups return the first match).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  /// Checked accessors: throw gm::PreconditionError on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int64() const;  ///< also rejects non-integers
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// First member named `key`, or nullptr (objects only; throws otherwise).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Like find(), but a missing key throws with the key name.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).  Throws gm::PreconditionError with an offset-carrying
+/// message on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Read and parse `path`, throwing gm::Error when unreadable or malformed.
+[[nodiscard]] JsonValue parse_json_file(const std::string& path);
+
+/// Write an already-serialized JSON document (plus a trailing newline) to
+/// `path` with the same error contract as JsonWriter::write_file, which
+/// delegates here.
+void write_json_file(std::string_view text, const std::string& path);
 
 }  // namespace gm::bench

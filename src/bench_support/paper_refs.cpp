@@ -1,0 +1,72 @@
+#include "bench_support/paper_refs.hpp"
+
+#include "bench_support/paper_setup.hpp"
+#include "data/generators.hpp"
+#include "sim/device_spec.hpp"
+
+namespace gm::bench {
+
+const std::vector<PaperReference>& paper_references() {
+  using kernels::Algorithm;
+  static const std::vector<PaperReference> kReferences = {
+      // Fig 9(a): Algo1 L1 — flat, clock-ordered (8800 fastest).
+      {"9a", "8800", Algorithm::kThreadTexture, 1, 128, 127.0},
+      {"9a", "gx2", Algorithm::kThreadTexture, 1, 128, 140.0},
+      {"9a", "gtx280", Algorithm::kThreadTexture, 1, 128, 160.0},
+      {"9a", "gtx280", Algorithm::kThreadTexture, 1, 512, 290.0},
+      // Fig 8(a)/9(b): Algo1 L2 — flat bands 165/180/215.
+      {"8a", "8800", Algorithm::kThreadTexture, 2, 256, 165.0},
+      {"8a", "gx2", Algorithm::kThreadTexture, 2, 256, 180.0},
+      {"8a", "gtx280", Algorithm::kThreadTexture, 2, 256, 215.0},
+      // Fig 9(c): Algo1 L3.
+      {"9c", "gtx280", Algorithm::kThreadTexture, 3, 96, 300.0},
+      {"9c", "gtx280", Algorithm::kThreadTexture, 3, 512, 700.0},
+      // Fig 9(d-f): Algo2.
+      {"9d", "gtx280", Algorithm::kThreadBuffered, 1, 512, 45.0},
+      {"9e", "gtx280", Algorithm::kThreadBuffered, 2, 512, 50.0},
+      {"9f", "gtx280", Algorithm::kThreadBuffered, 3, 96, 200.0},
+      {"9f", "gtx280", Algorithm::kThreadBuffered, 3, 512, 500.0},
+      // Fig 8(b)/9(g): Algo3 L1 — bandwidth-split plateaus.
+      {"8b", "8800", Algorithm::kBlockTexture, 1, 16, 13.0},
+      {"8b", "8800", Algorithm::kBlockTexture, 1, 256, 6.0},
+      {"8b", "gtx280", Algorithm::kBlockTexture, 1, 256, 2.0},
+      // Fig 7(b)/9(h): Algo3 L2 — best overall at 64 threads.
+      {"7b", "gtx280", Algorithm::kBlockTexture, 2, 64, 70.0},
+      {"7b", "gtx280", Algorithm::kBlockTexture, 2, 512, 200.0},
+      // Fig 9(i): Algo3 L3.
+      {"9i", "gtx280", Algorithm::kBlockTexture, 3, 512, 2000.0},
+      {"9i", "8800", Algorithm::kBlockTexture, 3, 512, 3700.0},
+      // Fig 9(j): Algo4 L1 — sub-ms to few-ms; best config of C4.
+      {"9j", "gtx280", Algorithm::kBlockBuffered, 1, 256, 1.0},
+      {"9j", "gtx280", Algorithm::kBlockBuffered, 1, 16, 6.0},
+      // Fig 7(b)/9(k): Algo4 L2 — crossing Algo3 near 240 threads.
+      {"7b", "gtx280", Algorithm::kBlockBuffered, 2, 16, 450.0},
+      {"7b", "gtx280", Algorithm::kBlockBuffered, 2, 256, 120.0},
+      // Fig 9(l): Algo4 L3.
+      {"9l", "gtx280", Algorithm::kBlockBuffered, 3, 96, 900.0},
+      {"9l", "8800", Algorithm::kBlockBuffered, 3, 512, 1700.0},
+  };
+  return kReferences;
+}
+
+std::vector<calib::FitSample> paper_reference_samples(double weight) {
+  std::vector<calib::FitSample> samples;
+  samples.reserve(paper_references().size());
+  for (const PaperReference& ref : paper_references()) {
+    calib::FitSample sample;
+    sample.workload.db_size = data::kPaperDatabaseSize;
+    sample.workload.episode_count = paper_episode_count(ref.level);
+    sample.workload.level = ref.level;
+    sample.workload.alphabet_size = 26;
+    sample.config.kind = planner::BackendKind::kGpuSim;
+    sample.config.algorithm = ref.algorithm;
+    sample.config.threads_per_block = ref.tpb;
+    sample.device = gpusim::device_by_name(ref.card);
+    sample.measured_ms = ref.paper_ms;
+    sample.weight = weight;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace gm::bench

@@ -1,0 +1,35 @@
+// The paper-figure reference points the kernel cost model was calibrated
+// against: (card, algorithm, level, threads-per-block) -> approximate
+// milliseconds read off the published figure axes.  bench/calibration_table
+// prints model-vs-paper residuals over this table, and the calibration
+// fitter consumes the same points as low-weight microbench probes so the
+// kernel instruction charges stay anchored to the published curves when a
+// fit run has few (or no) simulated-GPU measurements of its own.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "calib/fitter.hpp"
+#include "kernels/mining_kernels.hpp"
+
+namespace gm::bench {
+
+struct PaperReference {
+  std::string figure;  ///< e.g. "9a"
+  std::string card;    ///< gpusim::device_by_name key
+  kernels::Algorithm algorithm;
+  int level;
+  int tpb;
+  double paper_ms;  ///< approximate reading from the figure
+};
+
+/// Every reference point (the table EXPERIMENTS.md records residuals for).
+[[nodiscard]] const std::vector<PaperReference>& paper_references();
+
+/// The same points as calibration fit samples on the paper's evaluation
+/// workload (393,019 symbols, level-l episode space over 26 letters), each
+/// carrying `weight` (callers pass well under the measured samples' 1.0).
+[[nodiscard]] std::vector<calib::FitSample> paper_reference_samples(double weight);
+
+}  // namespace gm::bench

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "calib/calibration.hpp"
 #include "common/error.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/cpu_backend.hpp"
@@ -25,6 +26,9 @@ std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
     planner::PlannerOptions options;
     options.device = gpusim::device_by_name(spec.card);
     options.cpu_threads = spec.threads;
+    if (!spec.calibration.empty()) {
+      calib::apply_profile(calib::load_profile(spec.calibration), options);
+    }
     return std::make_unique<planner::AutoBackend>(std::move(options));
   }
   std::string known;

@@ -30,6 +30,10 @@ struct BackendSpec {
   int threads = 0;  ///< CPU backends: 0 = hardware concurrency
   std::string card = "gtx280";
   kernels::MiningLaunchParams launch = {};  ///< gpusim only
+  /// "auto" only: path of a fitted calibration profile (see calib/ and
+  /// `backend_shootout --fit-calibration`) whose constants replace the
+  /// shipped cost-model defaults the planner scores with.  Empty = shipped.
+  std::string calibration;
 };
 
 /// Construct the backend a spec names.  Throws gm::PreconditionError for an

@@ -4,9 +4,10 @@
 // pin down the arithmetic cost of each kernel's inner loop (memory
 // operations charge themselves).  They are calibration inputs: first-order
 // estimates of what nvcc 2.0 emitted for each loop shape, refined so the
-// full model reproduces the paper's published curve levels (see
-// tests/kernels/calibration_test.cpp and EXPERIMENTS.md for the targets and
-// residuals).
+// full model reproduces the paper's published curve levels (the reference
+// points live in bench_support/paper_refs.cpp; bench/calibration_table
+// prints the residuals, and `backend_shootout --fit-calibration` refits the
+// KernelCostProfile view below at runtime — see src/calib/).
 //
 // Two asymmetries are deliberate and load-bearing:
 //
@@ -79,5 +80,32 @@ inline constexpr int kRegistersPerThread = 10;
 /// SM, matching the paper's observation that "only one block may be resident
 /// on a multiprocessor during this [load]" (C2).
 inline constexpr int kDefaultBufferBytes = 16384;
+
+// --- Runtime-calibratable view ---------------------------------------------
+
+/// The instruction-charge constants above, as a value type the analytic
+/// workload models take per call.  Defaults are the shipped constexprs, so a
+/// default-constructed profile predicts bit-identically to the pre-profile
+/// code; `backend_shootout --fit-calibration` fits these fields (per term,
+/// non-negative) from measured samples and `--calibration` feeds the fitted
+/// values back in.
+///
+/// Only the *charge* constants are here.  The structural constants
+/// (kBucketEpisodesPerThread, kRegistersPerThread, kDefaultBufferBytes) fix
+/// launch geometry and occupancy, which the functional engine shares —
+/// fitting them would desynchronize the model from what actually runs.
+struct KernelCostProfile {
+  double unbuffered_scan_instr = kUnbufferedScanInstr;
+  double buffered_scan_instr = kBufferedScanInstr;
+  double block_scan_instr = kBlockScanInstr;
+  double automaton_step_instr = kAutomatonStepInstr;
+  double buffer_copy_instr = kBufferCopyInstr;
+  double fold_step_instr = kFoldStepInstr;
+  double rescan_instr = kRescanInstr;
+  double bucket_probe_instr = kBucketProbeInstr;
+  double bucket_drain_instr = kBucketDrainInstr;
+  double bucket_file_instr = kBucketFileInstr;
+  double expiry_heap_instr = kExpiryHeapInstr;
+};
 
 }  // namespace gm::kernels

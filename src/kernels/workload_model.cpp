@@ -116,17 +116,68 @@ std::int64_t rescan_len(std::int64_t db_size, std::int64_t bound, std::int64_t w
   return hi - lo;
 }
 
+/// Steady-state expiry statistics of one bucketed automaton (subsequence
+/// semantics, level L > 1) on a stream whose per-position drain probability
+/// is `q`.
+///
+/// A match *attempt* starts when episode[0] drains (deadline heap push) and
+/// ends either completed — T more positions, T = sum of L-1 Geom(q) dwells —
+/// or expired at the deadline, W positions after the start, where the kernel
+/// re-files the automaton under episode[0] (the re-bucket traffic this
+/// models).  Expiry runs before the position's bucket dispatch, so
+/// completion needs T <= W - 1.  The renewal cycle between consecutive
+/// attempt starts is
+///
+///   C = 1/q + E[min(T, W - 1)],   E[min(T, M)] = sum_{w<M} P(T > w)
+///
+/// with P(T > w) = P(Binomial(w, q) < L - 1), evaluated incrementally and
+/// truncated once the tail is negligible (windows beyond the stream clamp to
+/// |DB| upstream).  As W grows, p -> 0 and C -> L/q, recovering exactly the
+/// first-order "one heap push+pop per match start" term at rate q/L.
+struct BucketExpiryStats {
+  double attempts_per_position = 0.0;  ///< 1 / C
+  double expiry_prob = 0.0;            ///< p = P(T > W - 1)
+};
+
+BucketExpiryStats bucket_expiry_stats(double q, int level, std::int64_t window) {
+  BucketExpiryStats stats;
+  if (q <= 0.0) return stats;  // dead buckets park automata forever
+  const std::int64_t M = window - 1;
+  // b[k] = P(Binomial(w, q) = k) for k < level - 1, advanced in w.
+  std::vector<double> b(static_cast<std::size_t>(level - 1), 0.0);
+  b[0] = 1.0;  // w = 0
+  double tail = 1.0;  // P(T > 0): T >= level - 1 >= 1
+  double e_min = 0.0;
+  std::int64_t w = 0;
+  while (w < M && tail > 1e-12) {
+    e_min += tail;
+    for (std::size_t k = b.size(); k-- > 0;) {
+      b[k] = b[k] * (1.0 - q) + (k > 0 ? b[k - 1] * q : 0.0);
+    }
+    ++w;
+    tail = 0.0;
+    for (const double bk : b) tail += bk;
+  }
+  // Tail truncated before reaching M: the remaining summands are < 1e-12
+  // each; p is effectively 0.
+  const double p = w < M ? 0.0 : tail;
+  stats.expiry_prob = p;
+  stats.attempts_per_position = 1.0 / (1.0 / q + e_min);
+  return stats;
+}
+
 // --------------------------------------------------------------------------
 // Per-algorithm block models (mirrors of mining_kernels.cpp).
 // --------------------------------------------------------------------------
 
-BlockProfile algo1_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+BlockProfile algo1_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t,
+                         const KernelCostProfile& p) {
   const double N = static_cast<double>(s.db_size);
   BlockModel block(t, dev.warp_size);
   block.segment(
       [&](int) {
         LaneTotals lt;
-        lt.instr = N * (kUnbufferedScanInstr + 2) + 1;  // scan + fetch + ep load; store
+        lt.instr = N * (p.unbuffered_scan_instr + 2) + 1;  // scan + fetch + ep load; store
         lt.tex = N;
         lt.glob = N + 1;
         lt.glob_bytes = N * 1 + 4;
@@ -136,7 +187,8 @@ BlockProfile algo1_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
   return block.finish({TexAccessKind::kBroadcast, N, /*sharing_key=*/1});
 }
 
-BlockProfile algo2_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+BlockProfile algo2_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t,
+                         const KernelCostProfile& p) {
   const std::int64_t B = s.params.buffer_bytes;
   const int L = s.level;
   BlockModel block(t, dev.warp_size);
@@ -156,7 +208,7 @@ BlockProfile algo2_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
             lt.glob_bytes += L;
           }
           const auto c = static_cast<double>(copy_count(n, t, lane));
-          lt.instr += c * (kBufferCopyInstr + 2);  // copy math + fetch + store
+          lt.instr += c * (p.buffer_copy_instr + 2);  // copy math + fetch + store
           lt.tex += c;
           lt.shared += c;
           return lt;
@@ -166,7 +218,7 @@ BlockProfile algo2_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
     block.segment(
         [&, n](int) {
           LaneTotals lt;
-          lt.instr = static_cast<double>(n) * (kBufferedScanInstr + 1);
+          lt.instr = static_cast<double>(n) * (p.buffered_scan_instr + 1);
           lt.shared = static_cast<double>(n);
           return lt;
         },
@@ -186,7 +238,8 @@ BlockProfile algo2_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
       {TexAccessKind::kCoalescedStream, static_cast<double>(s.db_size), /*sharing_key=*/2});
 }
 
-BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t,
+                         const KernelCostProfile& p) {
   const int L = s.level;
   const bool expiry = s.params.expiry.enabled();
   const bool simple = expiry || L == 1;  // no composition machinery
@@ -203,7 +256,7 @@ BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
         const Range chunk = thread_chunk(s.db_size, t, lane);
         const auto c = static_cast<double>(chunk.size());
         if (!simple) {
-          lt.instr += c * (kBlockScanInstr + 2 + L * kAutomatonStepInstr);
+          lt.instr += c * (p.block_scan_instr + 2 + L * p.automaton_step_instr);
           lt.tex += c;
           lt.glob += c;
           lt.glob_bytes += c;
@@ -211,14 +264,14 @@ BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
           lt.glob += L;
           lt.glob_bytes += 4.0 * L;
         } else {
-          lt.instr += c * (kBlockScanInstr + 2 + kAutomatonStepInstr);
+          lt.instr += c * (p.block_scan_instr + 2 + p.automaton_step_instr);
           lt.tex += c;
           lt.glob += c;
           lt.glob_bytes += c;
           if (expiry && chunk.end < s.db_size) {
             const auto w = static_cast<double>(
                 rescan_len(s.db_size, chunk.end, s.params.expiry.window));
-            lt.instr += w * (kRescanInstr + 1 + kAutomatonStepInstr);
+            lt.instr += w * (p.rescan_instr + 1 + p.automaton_step_instr);
             lt.tex += w;
           }
           lt.instr += 2;  // outcome store
@@ -233,7 +286,7 @@ BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
       [&](int lane) {
         LaneTotals lt;
         if (lane == 0) {
-          lt.instr = static_cast<double>(t) * (kFoldStepInstr + 1) + 1;
+          lt.instr = static_cast<double>(t) * (p.fold_step_instr + 1) + 1;
           lt.glob = static_cast<double>(t) + 1;
           lt.glob_bytes = 4.0 * t + 4;
         }
@@ -244,7 +297,8 @@ BlockProfile algo3_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
       {TexAccessKind::kStridedPerLane, static_cast<double>(s.db_size), /*sharing_key=*/0});
 }
 
-BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t) {
+BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t,
+                         const KernelCostProfile& p) {
   const std::int64_t B = s.params.buffer_bytes;
   const int L = s.level;
   const bool expiry = s.params.expiry.enabled();
@@ -266,12 +320,12 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
             lt.glob += L;
             lt.glob_bytes += L;
           } else if (!simple && lane == 0) {
-            lt.instr += static_cast<double>(t) * (kFoldStepInstr + 1);
+            lt.instr += static_cast<double>(t) * (p.fold_step_instr + 1);
             lt.glob += static_cast<double>(t);
             lt.glob_bytes += 4.0 * t;
           }
           const auto c = static_cast<double>(copy_count(n, t, lane));
-          lt.instr += c * (kBufferCopyInstr + 2);
+          lt.instr += c * (p.buffer_copy_instr + 2);
           lt.tex += c;
           lt.shared += c;
           return lt;
@@ -284,7 +338,7 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
           const Range slice = thread_chunk(n, t, lane);
           const auto c = static_cast<double>(slice.size());
           if (!simple) {
-            lt.instr += c * (kBlockScanInstr + 2 + L * kAutomatonStepInstr);
+            lt.instr += c * (p.block_scan_instr + 2 + L * p.automaton_step_instr);
             lt.shared += c;
             lt.glob += c;
             lt.glob_bytes += c;
@@ -292,7 +346,7 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
             lt.glob += L;
             lt.glob_bytes += 4.0 * L;
           } else {
-            lt.instr += c * (kBlockScanInstr + 2 + kAutomatonStepInstr);
+            lt.instr += c * (p.block_scan_instr + 2 + p.automaton_step_instr);
             lt.shared += c;
             lt.glob += c;
             lt.glob_bytes += c;
@@ -300,7 +354,7 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
             if (expiry && bound < s.db_size) {
               const auto w = static_cast<double>(
                   rescan_len(s.db_size, bound, s.params.expiry.window));
-              lt.instr += w * (kRescanInstr + 1 + kAutomatonStepInstr);
+              lt.instr += w * (p.rescan_instr + 1 + p.automaton_step_instr);
               lt.tex += w;
             }
           }
@@ -315,7 +369,7 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
         [&](int lane) {
           LaneTotals lt;
           if (lane == 0) {
-            lt.instr = static_cast<double>(t) * (kFoldStepInstr + 1) + 1;
+            lt.instr = static_cast<double>(t) * (p.fold_step_instr + 1) + 1;
             lt.glob = static_cast<double>(t) + 1;
             lt.glob_bytes = 4.0 * t + 4;
           }
@@ -337,7 +391,7 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
         [&](int lane) {
           LaneTotals lt;
           if (lane == 0) {
-            lt.instr = static_cast<double>(t) * (kFoldStepInstr + 1) + 1;
+            lt.instr = static_cast<double>(t) * (p.fold_step_instr + 1) + 1;
             lt.glob = static_cast<double>(t) + 1;
             lt.glob_bytes = 4.0 * t + 4;
           }
@@ -354,7 +408,7 @@ BlockProfile algo4_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
 // for the dense contiguous-restart path; expectation over a uniform stream
 // for the bucketed path (see the header comment).
 BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, int t,
-                         std::int64_t slots_in_block) {
+                         std::int64_t slots_in_block, const KernelCostProfile& p) {
   const std::int64_t B = s.params.buffer_bytes;
   const int L = s.level;
   const double A = static_cast<double>(s.alphabet_size);
@@ -362,6 +416,19 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
       s.symbol_freq.empty() ? 1.0 / A : bucket_drain_rate(s.symbol_freq, L);
   const bool dense = s.params.semantics == gm::core::Semantics::kContiguousRestart;
   const bool expiry = s.params.expiry.enabled();
+  // The kernel clamps deadlines the same way (windows beyond the stream are
+  // indistinguishable from |DB|).
+  const std::int64_t window = std::min(s.params.expiry.window, s.db_size);
+  const BucketExpiryStats ex = (!dense && expiry && L > 1)
+                                   ? bucket_expiry_stats(drain_rate, L, window)
+                                   : BucketExpiryStats{};
+  // A deadline pushed at position t only pops (and can only expire) if it
+  // matures inside the stream, t + W < |DB|: the fraction of attempts whose
+  // heap entry is ever revisited.
+  const double mature_frac =
+      s.db_size > window
+          ? static_cast<double>(s.db_size - window) / static_cast<double>(s.db_size)
+          : 0.0;
   BlockModel block(t, dev.warp_size);
 
   const auto owned_of = [&](int lane) {
@@ -382,10 +449,10 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
             lt.instr += owned * L;
             lt.glob += owned * L;
             lt.glob_bytes += owned * L;
-            if (!dense) lt.instr += owned * kBucketFileInstr;
+            if (!dense) lt.instr += owned * p.bucket_file_instr;
           }
           const auto c = static_cast<double>(copy_count(n, t, lane));
-          lt.instr += c * (kBufferCopyInstr + 2);
+          lt.instr += c * (p.buffer_copy_instr + 2);
           lt.tex += c;
           lt.shared += c;
           return lt;
@@ -400,21 +467,30 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
           const auto N = static_cast<double>(n);
           lt.shared += N;
           if (dense) {
-            lt.instr += N * (kBufferedScanInstr + 1 + owned * kAutomatonStepInstr);
+            lt.instr += N * (p.buffered_scan_instr + 1 + owned * p.automaton_step_instr);
           } else {
             // Expected drains: every automaton awaits exactly one symbol, so
             // each position hits a given automaton's bucket w.p. 1/alphabet
             // on a uniform stream, or bucket_drain_rate under measured skew.
             const double drains = owned * N * drain_rate;
-            lt.instr += N * (kBucketProbeInstr + 1) +
-                        drains * (kBucketDrainInstr + kAutomatonStepInstr +
-                                  kBucketFileInstr + 2);
+            lt.instr += N * (p.bucket_probe_instr + 1) +
+                        drains * (p.bucket_drain_instr + p.automaton_step_instr +
+                                  p.bucket_file_instr + 2);
             lt.glob += 2 * drains;
             lt.glob_bytes += 8 * drains;
             if (expiry && L > 1) {
-              // First-order expiry term: one deadline push per match start
-              // (~drains / L) plus its eventual pop.
-              lt.instr += 2.0 * kExpiryHeapInstr * drains / L;
+              // One deadline push per attempt start plus a pop for the
+              // matured share, at the renewal attempt rate (= drains / L
+              // when the window is wide); the expired share additionally
+              // re-files under episode[0], stores its reset state, and
+              // leaves a stale bucket entry that later drains to a
+              // generation-tag miss.
+              const double attempts = owned * N * ex.attempts_per_position;
+              const double expired = attempts * ex.expiry_prob * mature_frac;
+              lt.instr += attempts * (1.0 + mature_frac) * p.expiry_heap_instr +
+                          expired * (p.bucket_file_instr + p.bucket_drain_instr);
+              lt.glob += expired;
+              lt.glob_bytes += 4.0 * expired;
             }
           }
           return lt;
@@ -484,7 +560,8 @@ gpusim::LaunchConfig model_launch_config(const WorkloadSpec& spec) {
   return config;
 }
 
-gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const WorkloadSpec& spec) {
+gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const WorkloadSpec& spec,
+                                    const KernelCostProfile& costs) {
   gm::expects(spec.db_size > 0, "database must be non-empty");
   gm::expects(spec.episode_count > 0, "need at least one episode");
   validate_launch_params(spec.params, spec.level);
@@ -505,19 +582,19 @@ gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const Work
     // `extra` blocks carry one slot more than the rest.
     const std::int64_t base = spec.episode_count / geo.blocks;
     const std::int64_t extra = spec.episode_count % geo.blocks;
-    if (extra > 0) profile.add_block(algo5_block(device, spec, t, base + 1), extra);
+    if (extra > 0) profile.add_block(algo5_block(device, spec, t, base + 1, costs), extra);
     if (geo.blocks > extra) {
-      profile.add_block(algo5_block(device, spec, t, base), geo.blocks - extra);
+      profile.add_block(algo5_block(device, spec, t, base, costs), geo.blocks - extra);
     }
     return profile;
   }
 
   BlockProfile block;
   switch (spec.params.algorithm) {
-    case Algorithm::kThreadTexture: block = algo1_block(device, spec, t); break;
-    case Algorithm::kThreadBuffered: block = algo2_block(device, spec, t); break;
-    case Algorithm::kBlockTexture: block = algo3_block(device, spec, t); break;
-    case Algorithm::kBlockBuffered: block = algo4_block(device, spec, t); break;
+    case Algorithm::kThreadTexture: block = algo1_block(device, spec, t, costs); break;
+    case Algorithm::kThreadBuffered: block = algo2_block(device, spec, t, costs); break;
+    case Algorithm::kBlockTexture: block = algo3_block(device, spec, t, costs); break;
+    case Algorithm::kBlockBuffered: block = algo4_block(device, spec, t, costs); break;
     case Algorithm::kBlockBucketed: break;  // handled above
   }
   profile.add_block(block, geo.blocks);
@@ -526,8 +603,9 @@ gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const Work
 
 gpusim::TimeBreakdown predict_mining_time(const gpusim::DeviceSpec& device,
                                           const WorkloadSpec& spec,
-                                          const gpusim::CostModel& model) {
-  return model.predict(device, model_launch_config(spec), model_profile(device, spec));
+                                          const gpusim::CostModel& model,
+                                          const KernelCostProfile& costs) {
+  return model.predict(device, model_launch_config(spec), model_profile(device, spec, costs));
 }
 
 }  // namespace gm::kernels

@@ -14,9 +14,15 @@
 // for the dense contiguous-restart path and an expectation elsewhere: each
 // automaton awaits exactly one symbol, so a uniform stream drains it with
 // probability 1/|alphabet| per position, making the per-symbol work term
-// scale with bucket occupancy |episodes|/|alphabet| instead of |episodes|
-// (expiry re-bucket traffic, also data-dependent, is modelled to first order
-// as one heap push+pop per match start).
+// scale with bucket occupancy |episodes|/|alphabet| instead of |episodes|.
+// Expiry re-bucket traffic (also data-dependent) is a renewal expectation:
+// attempts start at rate 1 / (1/q + E[min(T, W-1)]) per position (q the
+// drain rate, T the completion time over L-1 geometric dwells), each
+// charging a deadline push, a pop for the share whose deadline matures
+// inside the stream, and — for the share that expires — the episode[0]
+// re-file, state store and stale-entry drain; it converges to one push+pop
+// per match start (rate drains/L) as the window widens, and is pinned
+// against the engine across windows by kernels_workload_model_test.
 #pragma once
 
 #include <span>
@@ -73,13 +79,18 @@ struct WorkloadSpec {
 
 /// The kernel profile the functional engine would measure for this spec
 /// (tex_miss_bytes is left 0: declared texture patterns drive the traffic
-/// model instead).
+/// model instead).  `costs` supplies the per-loop instruction charges; the
+/// default profile carries the shipped cost_constants.hpp values and predicts
+/// bit-identically to the pre-profile code (pinned by test), while a fitted
+/// profile (see calib/) adapts the model to a measured host.
 [[nodiscard]] gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device,
-                                                  const WorkloadSpec& spec);
+                                                  const WorkloadSpec& spec,
+                                                  const KernelCostProfile& costs = {});
 
 /// Convenience: predicted kernel time for this spec on this card.
 [[nodiscard]] gpusim::TimeBreakdown predict_mining_time(const gpusim::DeviceSpec& device,
                                                         const WorkloadSpec& spec,
-                                                        const gpusim::CostModel& model);
+                                                        const gpusim::CostModel& model,
+                                                        const KernelCostProfile& costs = {});
 
 }  // namespace gm::kernels

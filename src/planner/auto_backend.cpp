@@ -26,10 +26,31 @@ core::CountResult AutoBackend::count(const core::CountRequest& request) {
 
   Plan plan = plan_level(workload, options_);
   const std::string key = plan.winner().config.label();
+  const double predicted_ms = plan.winner().predicted_ms;
+  const bool is_gpu = plan.winner().config.kind == BackendKind::kGpuSim;
   auto [it, inserted] = backends_.try_emplace(key, nullptr);
   if (inserted) it->second = make_planned_backend(plan.winner().config, options_);
   plans_.push_back(std::move(plan));
-  return it->second->count(request);
+  core::CountResult result = it->second->count(request);
+
+  // Online feedback: fold measured/predicted into the winner's bias with
+  // recency weighting.  predicted_ms already carries the current bias, so
+  // divide it back out to compare against the raw model value — otherwise a
+  // stable 2x model error would compound to 4x, 8x, ... instead of settling
+  // at a 2x multiplier.
+  const double measured_ms = is_gpu ? result.simulated_kernel_ms : result.host_ms;
+  // Same precedence plan_level applies: label match, then kind name.
+  auto prior_it = options_.measured_bias.find(key);
+  if (prior_it == options_.measured_bias.end()) {
+    prior_it = options_.measured_bias.find(
+        std::string(backend_kind_name(plans_.back().winner().config.kind)));
+  }
+  const double prior = prior_it == options_.measured_bias.end() ? 1.0 : prior_it->second;
+  const double raw_predicted_ms = predicted_ms / prior;
+  const double observed =
+      (measured_ms + kFeedbackFloorMs) / (raw_predicted_ms + kFeedbackFloorMs);
+  options_.measured_bias[key] = (1.0 - kFeedbackBlend) * prior + kFeedbackBlend * observed;
+  return result;
 }
 
 }  // namespace gm::planner

@@ -6,6 +6,16 @@
 // of the incoming request, asks the planner for this level's winner, lazily
 // constructs that backend, and delegates.  The full per-level decision
 // history stays queryable so the CLI can report what was picked and why.
+//
+// Online feedback: after every delegated count() the backend compares the
+// measured time (wall-clock for CPU formulations, engine-measured kernel
+// time for gpusim) against the plan's prediction and folds the ratio into
+// its in-memory profile as a recency-weighted bias multiplier
+// (PlannerOptions::measured_bias, keyed by candidate label).  A formulation
+// that keeps under-delivering gets progressively discounted, so long mining
+// runs self-correct mid-session; load a fitted CalibrationProfile (calib/)
+// into the options to start from host-measured constants instead of the
+// shipped ones.
 #pragma once
 
 #include <map>
@@ -31,6 +41,18 @@ class AutoBackend final : public core::CountingBackend {
   /// One plan per count() call, in call order.
   [[nodiscard]] const std::vector<Plan>& plans() const noexcept { return plans_; }
   [[nodiscard]] const PlannerOptions& options() const noexcept { return options_; }
+
+  /// The live measured-bias multipliers (candidate label -> measured /
+  /// predicted EWMA) accumulated from delegated count() calls.
+  [[nodiscard]] const std::map<std::string, double>& feedback() const noexcept {
+    return options_.measured_bias;
+  }
+
+  /// EWMA weight of the newest measured/predicted observation.
+  static constexpr double kFeedbackBlend = 0.4;
+  /// Noise floor (ms) on both sides of the observed ratio, mirroring the
+  /// shootout's regret floor: sub-floor levels cannot swing the bias.
+  static constexpr double kFeedbackFloorMs = 0.05;
 
  private:
   PlannerOptions options_;

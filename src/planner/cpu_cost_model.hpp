@@ -53,12 +53,15 @@ struct CpuCostConstants {
 
 /// Predicted wall-clock (ms) of one counting level on each CPU backend.
 /// `threads` is the worker count the backend would actually use (callers
-/// should pass core::resolved_thread_count(requested)).
-[[nodiscard]] double predict_cpu_serial_ms(const Workload& w, const CpuCostConstants& c);
+/// should pass core::resolved_thread_count(requested)).  The constants
+/// default to the shipped profile; pass a fitted CalibrationProfile's cpu
+/// part (calib/) to predict for the measured host instead.
+[[nodiscard]] double predict_cpu_serial_ms(const Workload& w, const CpuCostConstants& c = {});
 [[nodiscard]] double predict_cpu_parallel_ms(const Workload& w, int threads,
-                                             const CpuCostConstants& c);
+                                             const CpuCostConstants& c = {});
 [[nodiscard]] double predict_cpu_sharded_ms(const Workload& w, int threads,
-                                            const CpuCostConstants& c);
-[[nodiscard]] double predict_cpu_single_scan_ms(const Workload& w, const CpuCostConstants& c);
+                                            const CpuCostConstants& c = {});
+[[nodiscard]] double predict_cpu_single_scan_ms(const Workload& w,
+                                                const CpuCostConstants& c = {});
 
 }  // namespace gm::planner

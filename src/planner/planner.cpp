@@ -17,20 +17,6 @@ std::string fmt_ms(double ms) {
   return buf;
 }
 
-kernels::WorkloadSpec gpu_spec_of(const Workload& w, kernels::Algorithm algorithm, int tpb) {
-  kernels::WorkloadSpec spec;
-  spec.db_size = w.db_size;
-  spec.episode_count = w.episode_count;
-  spec.level = w.level;
-  spec.alphabet_size = w.alphabet_size;
-  if (kernels::is_bucketed(algorithm)) spec.symbol_freq = w.symbol_freq;
-  spec.params.algorithm = algorithm;
-  spec.params.threads_per_block = tpb;
-  spec.params.semantics = w.semantics;
-  spec.params.expiry = w.expiry;
-  return spec;
-}
-
 ScoredCandidate score_cpu(const Workload& w, BackendKind kind, int threads,
                           const CpuCostConstants& constants) {
   ScoredCandidate c;
@@ -95,8 +81,8 @@ ScoredCandidate score_gpu(const Workload& w, kernels::Algorithm algorithm, int t
   }
   try {
     const gpusim::CostModel model(options.cost_params);
-    c.breakdown =
-        kernels::predict_mining_time(options.device, gpu_spec_of(w, algorithm, tpb), model);
+    c.breakdown = kernels::predict_mining_time(
+        options.device, gpu_workload_spec(w, algorithm, tpb), model, options.kernel_costs);
     c.predicted_ms = c.breakdown.total_ms;
     c.feasible = true;
     c.reason = "bound by " + c.breakdown.bound_by;
@@ -106,9 +92,35 @@ ScoredCandidate score_gpu(const Workload& w, kernels::Algorithm algorithm, int t
   return c;
 }
 
+/// Measured-bias multiplier for a candidate: exact label match first, then
+/// the backend kind name, then 1 (no feedback recorded).
+double bias_for(const PlannerOptions& options, const CandidateConfig& config) {
+  if (options.measured_bias.empty()) return 1.0;
+  auto it = options.measured_bias.find(config.label());
+  if (it == options.measured_bias.end()) {
+    it = options.measured_bias.find(std::string(backend_kind_name(config.kind)));
+  }
+  return it == options.measured_bias.end() ? 1.0 : it->second;
+}
+
 }  // namespace
 
 PlannerOptions::PlannerOptions() : device(gpusim::geforce_gtx_280()) {}
+
+kernels::WorkloadSpec gpu_workload_spec(const Workload& w, kernels::Algorithm algorithm,
+                                        int tpb) {
+  kernels::WorkloadSpec spec;
+  spec.db_size = w.db_size;
+  spec.episode_count = w.episode_count;
+  spec.level = w.level;
+  spec.alphabet_size = w.alphabet_size;
+  if (kernels::is_bucketed(algorithm)) spec.symbol_freq = w.symbol_freq;
+  spec.params.algorithm = algorithm;
+  spec.params.threads_per_block = tpb;
+  spec.params.semantics = w.semantics;
+  spec.params.expiry = w.expiry;
+  return spec;
+}
 
 std::string_view backend_kind_name(BackendKind kind) {
   switch (kind) {
@@ -162,6 +174,19 @@ Plan plan_level(const Workload& workload, const PlannerOptions& options) {
         plan.table.push_back(score_gpu(workload, algorithm, tpb, options));
       }
     }
+  }
+
+  // Fold in any online-feedback multipliers before ranking, and say so in
+  // the note: a biased prediction should never read like a pure model value.
+  for (ScoredCandidate& c : plan.table) {
+    if (!c.feasible) continue;
+    const double bias = bias_for(options, c.config);
+    if (bias == 1.0) continue;
+    gm::expects(bias > 0.0, "measured_bias multipliers must be positive");
+    c.predicted_ms *= bias;
+    char note[48];
+    std::snprintf(note, sizeof(note), "; x%.2f measured bias", bias);
+    c.reason += note;
   }
 
   // Feasible candidates first, fastest first; label as the deterministic

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -23,6 +24,7 @@
 
 #include "core/counting.hpp"
 #include "kernels/mining_kernels.hpp"
+#include "kernels/workload_model.hpp"
 #include "planner/cpu_cost_model.hpp"
 #include "planner/workload.hpp"
 #include "sim/cost_model.hpp"
@@ -102,6 +104,16 @@ struct PlannerOptions {
   bool require_exact = true;
   gpusim::CostParams cost_params = {};
   CpuCostConstants cpu_constants = {};
+  /// Per-loop instruction charges of the GPU workload models.  Defaults to
+  /// the shipped cost_constants.hpp values; a fitted CalibrationProfile
+  /// (calib/) replaces both this and cpu_constants.
+  kernels::KernelCostProfile kernel_costs = {};
+  /// Online-feedback multipliers applied to predicted_ms after scoring,
+  /// keyed by candidate label (e.g. "cpu-sharded-x8") with the backend kind
+  /// name ("cpu-sharded") as fallback.  AutoBackend maintains these from
+  /// measured-vs-predicted count() ratios so long mining runs self-correct;
+  /// empty (the default) leaves predictions untouched.
+  std::map<std::string, double> measured_bias;
 
   PlannerOptions();  ///< defaults the device to the paper's GTX 280
 };
@@ -114,6 +126,11 @@ struct PlannerOptions {
 /// Construct the backend a candidate names (the planner's pick, typically).
 [[nodiscard]] std::unique_ptr<core::CountingBackend> make_planned_backend(
     const CandidateConfig& config, const PlannerOptions& options);
+
+/// The kernel-model spec a gpusim candidate is scored with (shared with the
+/// calibration fitter, which re-predicts candidates under trial profiles).
+[[nodiscard]] kernels::WorkloadSpec gpu_workload_spec(const Workload& workload,
+                                                      kernels::Algorithm algorithm, int tpb);
 
 /// Render a plan as the human-readable decision table planner_explain prints.
 [[nodiscard]] std::string format_plan(const Plan& plan);

@@ -1,0 +1,158 @@
+// Writer/reader contract of bench_support/json: the writer emits only valid
+// JSON (including for adversarial strings full of control characters and
+// backslashes), the reader accepts exactly standard JSON, and everything the
+// writer produces round-trips losslessly through the reader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "bench_support/json.hpp"
+#include "common/error.hpp"
+
+namespace gm::bench {
+namespace {
+
+TEST(JsonWriter, EscapesControlCharactersAndBackslashes) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("path", "C:\\bench\\out");
+  json.field("note", std::string("line1\nline2\ttabbed\r") + '\x01' + "\b\f end");
+  json.field("quote", "say \"hi\"");
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"path":"C:\\bench\\out",)"
+            R"("note":"line1\nline2\ttabbed\r\u0001\b\f end",)"
+            R"("quote":"say \"hi\""})");
+}
+
+TEST(JsonReader, ParsesScalarsArraysAndObjects) {
+  const JsonValue doc = parse_json(
+      R"({"name":"shootout","regret":1.25,"levels":[1,2,3],)"
+      R"("gate":true,"json":null,"nested":{"deep":[{"k":-2e3}]}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").as_string(), "shootout");
+  EXPECT_DOUBLE_EQ(doc.at("regret").as_double(), 1.25);
+  ASSERT_TRUE(doc.at("levels").is_array());
+  ASSERT_EQ(doc.at("levels").array.size(), 3u);
+  EXPECT_EQ(doc.at("levels").array[1].as_int64(), 2);
+  EXPECT_TRUE(doc.at("gate").as_bool());
+  EXPECT_TRUE(doc.at("json").is_null());
+  EXPECT_DOUBLE_EQ(doc.at("nested").at("deep").array[0].at("k").as_double(), -2000.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonReader, DecodesStringEscapes) {
+  const JsonValue doc = parse_json(R"("a\"b\\c\/d\n\t\r\b\f\u0041\u00e9\ud83d\ude00")");
+  EXPECT_EQ(doc.as_string(),
+            "a\"b\\c/d\n\t\r\b\f"
+            "A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  for (const char* bad : {
+           "",                    // empty
+           "{",                   // unclosed object
+           "[1,]",                // trailing comma
+           "{\"a\" 1}",           // missing colon
+           "{\"a\":1} x",         // trailing garbage
+           "'single'",            // wrong quotes
+           "\"unterminated",      // unterminated string
+           "\"bad \\q escape\"",  // unknown escape
+           "\"\\ud83d alone\"",   // unpaired surrogate
+           "01",                  // leading zero garbage via trailing chars
+           "nul",                 // truncated literal
+           "\"raw\ncontrol\"",    // unescaped control character
+       }) {
+    EXPECT_THROW((void)parse_json(bad), gm::PreconditionError) << "input: " << bad;
+  }
+}
+
+TEST(JsonReader, TypedAccessorsRejectMismatches) {
+  const JsonValue doc = parse_json(R"({"n":1.5,"s":"x","huge":1e300,"neg":-1e300})");
+  EXPECT_THROW((void)doc.at("n").as_string(), gm::PreconditionError);
+  EXPECT_THROW((void)doc.at("s").as_double(), gm::PreconditionError);
+  EXPECT_THROW((void)doc.at("n").as_int64(), gm::PreconditionError);  // non-integer
+  // Out of int64 range must throw, not invoke the UB double->int cast.
+  EXPECT_THROW((void)doc.at("huge").as_int64(), gm::PreconditionError);
+  EXPECT_THROW((void)doc.at("neg").as_int64(), gm::PreconditionError);
+  EXPECT_THROW((void)doc.at("n").at("k"), gm::PreconditionError);  // not an object
+  EXPECT_THROW((void)doc.at("missing"), gm::PreconditionError);
+}
+
+/// Re-serialize a parsed tree with the writer, for round-trip checks.
+void rewrite(const JsonValue& value, JsonWriter& json) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull: json.value(std::numeric_limits<double>::quiet_NaN()); break;
+    case JsonValue::Kind::kBool: json.value(value.boolean); break;
+    case JsonValue::Kind::kNumber: json.value(value.number); break;
+    case JsonValue::Kind::kString: json.value(value.string); break;
+    case JsonValue::Kind::kArray:
+      json.begin_array();
+      for (const auto& item : value.array) rewrite(item, json);
+      json.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      json.begin_object();
+      for (const auto& [key, member] : value.object) {
+        json.key(key);
+        rewrite(member, json);
+      }
+      json.end_object();
+      break;
+  }
+}
+
+TEST(JsonRoundTrip, WriterOutputSurvivesParseAndRewrite) {
+  // Build a document exercising every writer feature (escapes, nesting,
+  // numeric forms, null via non-finite), then parse -> rewrite -> parse and
+  // require the second pass to be byte-identical: the writer is canonical,
+  // so a lossless reader makes rewrite a fixed point.
+  JsonWriter first;
+  first.begin_object();
+  first.field("driver", "round\ntrip \"quoted\" \\ path\x01\b\f");
+  first.field("count", static_cast<std::int64_t>(-42));
+  first.field("ratio", 0.0625);
+  first.field("tiny", 1.25e-7);
+  first.field("gate", false);
+  first.field("nan_becomes_null", std::numeric_limits<double>::quiet_NaN());
+  first.key("table").begin_array();
+  for (int i = 0; i < 3; ++i) {
+    first.begin_object();
+    first.field("level", i);
+    first.field("label", "algo" + std::to_string(i) + "\t/t" + std::to_string(32 << i));
+    first.end_object();
+  }
+  first.end_array();
+  first.key("empty_array").begin_array().end_array();
+  first.key("empty_object").begin_object().end_object();
+  first.end_object();
+
+  const JsonValue parsed = parse_json(first.str());
+  JsonWriter second;
+  rewrite(parsed, second);
+  EXPECT_EQ(second.str(), first.str());
+
+  const JsonValue reparsed = parse_json(second.str());
+  EXPECT_EQ(reparsed.at("driver").as_string(), "round\ntrip \"quoted\" \\ path\x01\b\f");
+  EXPECT_EQ(reparsed.at("count").as_int64(), -42);
+  EXPECT_TRUE(reparsed.at("nan_becomes_null").is_null());
+  EXPECT_EQ(reparsed.at("table").array.size(), 3u);
+}
+
+TEST(JsonRoundTrip, DoublesSurviveExactly) {
+  // The writer emits the shortest round-trippable representation, so every
+  // value the BENCH artifacts carry (times in ms, ratios, fitted calibration
+  // constants) must come back double-equal.
+  for (const double v : {1.1, 2.0, 3.0, 12.0, 80.0, 0.05, 1e-6, 123456.789, 9.87654321e8,
+                         0.1 + 0.2, 1.0 / 3.0}) {
+    JsonWriter json;
+    json.begin_array().value(v).end_array();
+    const JsonValue parsed = parse_json(json.str());
+    EXPECT_DOUBLE_EQ(parsed.array[0].as_double(), v);
+  }
+}
+
+}  // namespace
+}  // namespace gm::bench

@@ -285,6 +285,76 @@ TEST(WorkloadModel, BucketedSkewAwareModelTracksEngineOnZipfData) {
   EXPECT_GT(uniform_model.global_requests / measured.global_requests, 1.15);
 }
 
+TEST(WorkloadModel, BucketedExpiryReBucketModelTracksEngineAcrossWindows) {
+  // The ROADMAP's expiry pin: the re-bucket traffic model (deadline heap
+  // push+pop per attempt at the renewal rate, plus the expired share's
+  // episode[0] re-file, state store and stale-entry drain) must track the
+  // engine across expiry windows the way the dense path is pinned — tight
+  // windows multiply the traffic (every start expires and restarts), wide
+  // windows converge to the first-order one-push-pop-per-match-start term.
+  const Alphabet alphabet(8);
+  const auto db = data::uniform_database(alphabet, 3000, 97);
+
+  for (const int level : {2, 3}) {
+    const auto episodes = core::all_distinct_episodes(alphabet, level);
+
+    gpusim::EngineOptions opts;
+    opts.host_threads = 2;
+    opts.simulate_texture_cache = false;
+    const gpusim::Engine engine(gpusim::geforce_8800_gts_512(), opts);
+
+    const auto run_both = [&](std::int64_t window) {
+      MiningLaunchParams params;
+      params.algorithm = Algorithm::kBlockBucketed;
+      params.threads_per_block = 32;
+      params.buffer_bytes = 256;
+      params.expiry = core::ExpiryPolicy{window};
+
+      const MiningRun run = run_mining_kernel(engine, db, episodes, params);
+      WorkloadSpec spec;
+      spec.db_size = static_cast<std::int64_t>(db.size());
+      spec.episode_count = static_cast<std::int64_t>(episodes.size());
+      spec.level = level;
+      spec.alphabet_size = alphabet.size();
+      spec.params = params;
+      return std::pair{gpusim::aggregate(model_profile(engine.spec(), spec)),
+                       gpusim::aggregate(run.launch.profile)};
+    };
+
+    const auto [base_model, base_meas] = run_both(0);
+    double prev_model_instr = std::numeric_limits<double>::infinity();
+    for (const std::int64_t window : {2, 4, 8, 16, 64}) {
+      const auto [model, meas] = run_both(window);
+      // Totals stay inside the bucketed expectation band.
+      EXPECT_NEAR(model.lane_instructions / meas.lane_instructions, 1.0, 0.06)
+          << "L" << level << " W" << window;
+      EXPECT_NEAR(model.global_requests / meas.global_requests, 1.0, 0.10)
+          << "L" << level << " W" << window;
+      // The expiry *delta* itself — the traffic this model exists for — must
+      // match the measured extra work, not just vanish into the total.
+      const double model_delta = model.lane_instructions - base_model.lane_instructions;
+      const double meas_delta = meas.lane_instructions - base_meas.lane_instructions;
+      ASSERT_GT(meas_delta, 0.0) << "L" << level << " W" << window;
+      EXPECT_NEAR(model_delta / meas_delta, 1.0, 0.10) << "L" << level << " W" << window;
+      // Tighter windows mean strictly more modeled re-bucket traffic.
+      EXPECT_LT(model.lane_instructions, prev_model_instr) << "L" << level << " W" << window;
+      prev_model_instr = model.lane_instructions;
+    }
+
+    // Window-equals-stream limit: no deadline ever matures, so the model
+    // must degenerate to one push (no pop, no expiry traffic) per match
+    // start at rate drains/level — and the engine agrees.
+    const auto [wide_model, wide_meas] = run_both(static_cast<std::int64_t>(db.size()));
+    const double drains = static_cast<double>(episodes.size()) *
+                          static_cast<double>(db.size()) / alphabet.size();
+    const double push_only = base_model.lane_instructions +
+                             1.0 * kExpiryHeapInstr * drains / level;
+    EXPECT_NEAR(wide_model.lane_instructions / push_only, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(wide_model.global_requests, base_model.global_requests);
+    EXPECT_NEAR(wide_model.lane_instructions / wide_meas.lane_instructions, 1.0, 0.06);
+  }
+}
+
 TEST(WorkloadModel, BucketedPerSymbolWorkScalesWithBucketOccupancy) {
   // The acceptance property of the formulation: the modeled per-symbol work
   // term scales with bucket occupancy |episodes|/|alphabet|, not |episodes|.

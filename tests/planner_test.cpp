@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "bench_support/paper_setup.hpp"
 #include "core/cpu_backend.hpp"
@@ -240,6 +241,80 @@ TEST(AutoBackend, ReusesConstructedBackendsAcrossLevels) {
   ASSERT_EQ(adaptive.plans().size(), 2u);
   EXPECT_EQ(adaptive.plans()[0].winner().config.label(),
             adaptive.plans()[1].winner().config.label());
+}
+
+TEST(AutoBackend, FeedbackRecordsRecencyWeightedBias) {
+  // Every delegated count() must fold measured/predicted into the winner's
+  // bias.  The update is an EWMA toward the floored observed ratio, so after
+  // one call the bias sits strictly between the prior (1) and the
+  // observation, and it always stays positive.
+  const core::Alphabet alphabet(10);
+  const auto db = data::uniform_database(alphabet, 5'000, 3);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+
+  AutoBackend adaptive{deterministic_options()};
+  (void)adaptive.count(request);
+  ASSERT_EQ(adaptive.feedback().size(), 1u);
+  const auto [label, bias] = *adaptive.feedback().begin();
+  EXPECT_EQ(label, adaptive.plans()[0].winner().config.label());
+  EXPECT_GT(bias, 0.0);
+
+  // The next plan's prediction for that winner carries the bias (the note
+  // says so), and repeated feedback keeps the multiplier finite.
+  (void)adaptive.count(request);
+  if (adaptive.plans()[1].winner().config.label() == label && bias != 1.0) {
+    EXPECT_NE(adaptive.plans()[1].winner().reason.find("measured bias"),
+              std::string::npos);
+  }
+  for (const auto& [key, value] : adaptive.feedback()) {
+    EXPECT_GT(value, 0.0) << key;
+    EXPECT_LT(value, 1e6) << key;
+  }
+}
+
+TEST(AutoBackend, FeedbackConvergesToStableModelError) {
+  // A persistent model error must settle at the observed ratio instead of
+  // compounding.  The update divides the prior bias back out of the biased
+  // prediction before forming the new observation; replicate the EWMA from
+  // the observable plan/result pairs and require exact agreement — were the
+  // divide-out dropped (bias fed on bias), the replicated values would
+  // diverge from the implementation's by the second call.
+  const core::Alphabet alphabet(16);
+  const auto db = data::uniform_database(alphabet, 4'000, 11);
+  const auto episodes = core::all_distinct_episodes(alphabet, 1);
+
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+
+  PlannerOptions options = deterministic_options();
+  // Grossly understate the serial cost so the model error is large and of
+  // known sign: measured wall-clock will exceed the prediction.
+  options.cpu_constants.serial_step_ns = 1e-4;
+  options.cpu_constants.serial_expiry_step_ns = 1e-4;
+  AutoBackend adaptive{options};
+
+  std::map<std::string, double> expected;
+  for (int call = 0; call < 6; ++call) {
+    const core::CountResult result = adaptive.count(request);
+    const Plan& plan = adaptive.plans().back();
+    const std::string label = plan.winner().config.label();
+    const bool is_gpu = plan.winner().config.kind == BackendKind::kGpuSim;
+    const double measured = is_gpu ? result.simulated_kernel_ms : result.host_ms;
+    const double prior = expected.count(label) > 0 ? expected[label] : 1.0;
+    const double raw = plan.winner().predicted_ms / prior;
+    const double observed = (measured + AutoBackend::kFeedbackFloorMs) /
+                            (raw + AutoBackend::kFeedbackFloorMs);
+    expected[label] = (1.0 - AutoBackend::kFeedbackBlend) * prior +
+                      AutoBackend::kFeedbackBlend * observed;
+    ASSERT_DOUBLE_EQ(adaptive.feedback().at(label), expected[label]) << "call " << call;
+    EXPECT_GT(adaptive.feedback().at(label), 0.0);
+    EXPECT_TRUE(std::isfinite(adaptive.feedback().at(label)));
+  }
 }
 
 TEST(AutoBackend, MakeBackendSpellsAuto) {

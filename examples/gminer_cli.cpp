@@ -35,11 +35,11 @@
 #include <string>
 
 #include "bench_support/cli_args.hpp"
-#include "bench_support/paper_setup.hpp"
 #include "core/miner.hpp"
 #include "data/dataset_io.hpp"
 #include "data/generators.hpp"
 #include "planner/auto_backend.hpp"
+#include "service/backend_factory.hpp"
 
 namespace {
 
@@ -50,7 +50,7 @@ void print_usage(std::ostream& out, const char* argv0) {
          "       [--semantics subseq|contig] [--cpu] [--demo] [--explain]\n"
          "       [--calibration profile.json] [dataset.txt]\n"
          "backends:";
-  for (const auto name : gm::bench::backend_names()) out << " " << name;
+  for (const auto name : gm::service::backend_names()) out << " " << name;
   out << "\n";
 }
 
@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: --calibration only applies to --backend auto\n";
       return usage(argv[0]);
     }
-    bench::BackendSpec spec;
+    service::BackendSpec spec;
     spec.name = backend_name;
     spec.threads = threads;
     spec.card = card;
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
     spec.calibration = calibration_path;
     std::unique_ptr<core::CountingBackend> backend;
     try {
-      backend = bench::make_backend(spec);
+      backend = service::make_backend(spec);
     } catch (const gm::PreconditionError& e) {
       // An unknown backend name is a bad invocation (exit 2), not a data error.
       std::cerr << "error: " << e.what() << "\n";

@@ -21,10 +21,12 @@ namespace gm::bench {
 
 /// A malformed command-line value.  Carries the plain message (no
 /// source-location decoration): it is printed verbatim to the terminal next
-/// to the usage text.
+/// to the usage text.  Tagged gm::ErrorCode::kUsage so the service layer can
+/// map request-syntax failures to a machine-readable rejection.
 class UsageError : public gm::PreconditionError {
  public:
-  explicit UsageError(const std::string& what) : PreconditionError(what) {}
+  explicit UsageError(const std::string& what)
+      : PreconditionError(what, gm::ErrorCode::kUsage) {}
 };
 
 namespace detail {

@@ -1,44 +1,9 @@
 #include "bench_support/paper_setup.hpp"
 
-#include <utility>
-
-#include "calib/calibration.hpp"
-#include "common/error.hpp"
 #include "core/candidate_gen.hpp"
-#include "core/cpu_backend.hpp"
 #include "data/generators.hpp"
-#include "kernels/gpu_backend.hpp"
-#include "planner/auto_backend.hpp"
 
 namespace gm::bench {
-
-std::vector<std::string_view> backend_names() {
-  return {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "gpusim", "auto"};
-}
-
-std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
-  if (auto cpu = core::make_cpu_backend(spec.name, spec.threads)) return cpu;
-  if (spec.name == "gpusim") {
-    return std::make_unique<kernels::SimGpuBackend>(gpusim::device_by_name(spec.card),
-                                                    spec.launch);
-  }
-  if (spec.name == "auto") {
-    planner::PlannerOptions options;
-    options.device = gpusim::device_by_name(spec.card);
-    options.cpu_threads = spec.threads;
-    if (!spec.calibration.empty()) {
-      calib::apply_profile(calib::load_profile(spec.calibration), options);
-    }
-    return std::make_unique<planner::AutoBackend>(std::move(options));
-  }
-  std::string known;
-  for (const auto name : backend_names()) {
-    if (!known.empty()) known += ", ";
-    known += name;
-  }
-  gm::raise_precondition("unknown backend '" + spec.name + "' (expected one of: " + known +
-                         ")");
-}
 
 std::int64_t paper_episode_count(int level) {
   return static_cast<std::int64_t>(gm::core::episode_space_size(26, level));

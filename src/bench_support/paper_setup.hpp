@@ -1,7 +1,8 @@
 // Shared configuration of the paper-reproduction benches: the evaluation
 // workload (393,019 letters, episode levels 1-3), one-call helpers that
 // predict a mining kernel's time on a card via the analytic workload model,
-// and the backend selection shared by the CLI and the bench drivers.
+// and deprecated aliases of the backend factory (now
+// service/backend_factory.hpp) for old bench call sites.
 #pragma once
 
 #include <cstdint>
@@ -13,35 +14,23 @@
 #include "core/counting.hpp"
 #include "kernels/mining_kernels.hpp"
 #include "kernels/workload_model.hpp"
+#include "service/backend_factory.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/device_spec.hpp"
 
 namespace gm::bench {
 
-/// Everything needed to name a counting backend on a command line.
-struct BackendSpec {
-  /// "cpu-serial" | "cpu-parallel" | "cpu-sharded" | "cpu-single-scan" |
-  /// "gpusim" | "auto" (unprefixed cpu aliases accepted).  "auto" plans the
-  /// formulation per counting level (planner::AutoBackend): `card` names the
-  /// device its GPU candidates are scored for and `threads` its CPU worker
-  /// budget; `launch` is ignored (the planner sweeps algorithms and
-  /// threads-per-block itself).
-  std::string name = "gpusim";
-  int threads = 0;  ///< CPU backends: 0 = hardware concurrency
-  std::string card = "gtx280";
-  kernels::MiningLaunchParams launch = {};  ///< gpusim only
-  /// "auto" only: path of a fitted calibration profile (see calib/ and
-  /// `backend_shootout --fit-calibration`) whose constants replace the
-  /// shipped cost-model defaults the planner scores with.  Empty = shipped.
-  std::string calibration;
-};
+/// Deprecated aliases: the backend factory moved to
+/// service/backend_factory.hpp (gm::service) so clients pick backends
+/// without linking the benchmark harness.  These keep old bench call sites
+/// compiling; new code should use gm::service directly.
+using BackendSpec = service::BackendSpec;
 
-/// Construct the backend a spec names.  Throws gm::PreconditionError for an
-/// unknown name, listing the valid ones.
-[[nodiscard]] std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec);
+inline std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
+  return service::make_backend(spec);
+}
 
-/// The names make_backend accepts (for --help text and shootout sweeps).
-[[nodiscard]] std::vector<std::string_view> backend_names();
+inline std::vector<std::string_view> backend_names() { return service::backend_names(); }
 
 /// Episode counts of the paper's levels over the 26-letter alphabet.
 [[nodiscard]] std::int64_t paper_episode_count(int level);

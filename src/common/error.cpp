@@ -15,8 +15,28 @@ std::string format(std::string_view kind, std::string_view message,
 
 }  // namespace
 
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kUsage: return "usage";
+    case ErrorCode::kInvalidConfig: return "invalid_config";
+    case ErrorCode::kPrecondition: return "precondition";
+    case ErrorCode::kInvariant: return "invariant";
+    case ErrorCode::kDevice: return "device";
+    case ErrorCode::kCapability: return "capability";
+    case ErrorCode::kAdmissionRejected: return "admission_rejected";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
 void raise_precondition(std::string_view message, std::source_location loc) {
-  throw PreconditionError(format("precondition violated", message, loc));
+  raise_precondition(message, ErrorCode::kPrecondition, loc);
+}
+
+void raise_precondition(std::string_view message, ErrorCode code, std::source_location loc) {
+  throw PreconditionError(format("precondition violated", message, loc), code);
 }
 
 void raise_invariant(std::string_view message, std::source_location loc) {

@@ -4,6 +4,11 @@
 // `expects()`, postconditions/invariants with `ensure()`, both of which throw
 // typed exceptions carrying a formatted message.  No macros; call sites pass
 // context strings explicitly.
+//
+// Every gm::Error additionally carries a stable ErrorCode so layers that
+// report failures as data rather than stack unwinding — the service layer's
+// MineResponse/CountResponse rejections, the CLI's exit-status mapping — can
+// return a machine-readable reason without parsing the message text.
 #pragma once
 
 #include <source_location>
@@ -13,32 +18,75 @@
 
 namespace gm {
 
+/// Stable machine-readable failure taxonomy.  Values are append-only: the
+/// service layer serializes `error_code_name()` into responses and BENCH
+/// artifacts, so renaming or reordering existing entries breaks consumers.
+enum class ErrorCode {
+  kUnknown = 0,
+  /// Malformed command-line / request syntax (bench::UsageError).
+  kUsage,
+  /// A configuration value outside its documented domain (e.g. a support
+  /// threshold above 1): fixable by the caller, before any work ran.
+  kInvalidConfig,
+  /// A caller violated a documented API precondition.
+  kPrecondition,
+  /// An internal invariant failed (a bug in this library).
+  kInvariant,
+  /// The simulated device rejected an operation.
+  kDevice,
+  /// The request exceeds a backend capability bound (e.g. the GPU kernels'
+  /// episode-level cap kernels::kMaxLevel).
+  kCapability,
+  /// Admission control rejected the request: the planner predicts it would
+  /// exceed its latency budget.
+  kAdmissionRejected,
+  /// The service request queue is at capacity.
+  kQueueFull,
+  /// The service is shutting down and will not serve the request.
+  kShutdown,
+};
+
+/// Stable snake_case name of a code ("invalid_config", "queue_full", ...).
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+
 /// Base class for all gpuminer errors.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::kUnknown)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// A caller violated a documented precondition of a public API.
 class PreconditionError : public Error {
  public:
-  explicit PreconditionError(const std::string& what) : Error(what) {}
+  explicit PreconditionError(const std::string& what,
+                             ErrorCode code = ErrorCode::kPrecondition)
+      : Error(what, code) {}
 };
 
 /// An internal invariant failed (a bug in this library, not the caller).
 class InvariantError : public Error {
  public:
-  explicit InvariantError(const std::string& what) : Error(what) {}
+  explicit InvariantError(const std::string& what) : Error(what, ErrorCode::kInvariant) {}
 };
 
 /// The simulated device rejected an operation (e.g. launch config exceeds
 /// hardware limits, or an atomic op unsupported at this compute capability).
 class DeviceError : public Error {
  public:
-  explicit DeviceError(const std::string& what) : Error(what) {}
+  explicit DeviceError(const std::string& what) : Error(what, ErrorCode::kDevice) {}
 };
 
 [[noreturn]] void raise_precondition(std::string_view message,
+                                     std::source_location loc = std::source_location::current());
+/// Like raise_precondition, but tagging the error with a specific code
+/// (kInvalidConfig, kCapability, ...) for machine-readable consumers.
+[[noreturn]] void raise_precondition(std::string_view message, ErrorCode code,
                                      std::source_location loc = std::source_location::current());
 [[noreturn]] void raise_invariant(std::string_view message,
                                   std::source_location loc = std::source_location::current());

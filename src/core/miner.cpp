@@ -1,13 +1,37 @@
 #include "core/miner.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace gm::core {
 
+void validate_miner_config(const MinerConfig& config) {
+  if (!(config.support_threshold >= 0.0 && config.support_threshold <= 1.0)) {
+    gm::raise_precondition(
+        "support_threshold must lie in [0, 1] (an episode is frequent when count/|DB| exceeds "
+        "it), got " +
+            std::to_string(config.support_threshold),
+        ErrorCode::kInvalidConfig);
+  }
+  if (config.max_level < 0) {
+    gm::raise_precondition(
+        "max_level must be >= 0 (0 runs until the candidate set is empty), got " +
+            std::to_string(config.max_level),
+        ErrorCode::kInvalidConfig);
+  }
+  if (config.expiry.window < 0) {
+    gm::raise_precondition("expiry window must be >= 0 (0 disables expiry), got " +
+                               std::to_string(config.expiry.window),
+                           ErrorCode::kInvalidConfig);
+  }
+}
+
 MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alphabet& alphabet,
-                                    CountingBackend& backend, const MinerConfig& config) {
+                                    CountingBackend& backend, const MinerConfig& config,
+                                    LevelObserver* observer) {
   gm::expects(!database.empty(), "database must be non-empty");
-  gm::expects(config.support_threshold >= 0.0, "support threshold must be non-negative");
+  validate_miner_config(config);
   for (const Symbol s : database) {
     gm::expects(alphabet.contains(s), "database symbol outside alphabet");
   }
@@ -22,10 +46,16 @@ MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alph
     // staging bound) as a reportable error before issuing the request,
     // instead of an abort deep inside the kernel layer.
     if (const int cap = backend.max_level(); cap > 0 && level > cap) {
-      gm::raise_precondition("backend '" + backend.name() + "' counts episodes only up to level " +
-                             std::to_string(cap) + ", but mining reached level " +
-                             std::to_string(level) +
-                             " — lower the level cap (--max-level) or switch to a CPU backend");
+      gm::raise_precondition(
+          "backend '" + backend.name() + "' counts episodes only up to level " +
+              std::to_string(cap) + ", but mining reached level " + std::to_string(level) +
+              " — lower the level cap (--max-level) or switch to a CPU backend",
+          ErrorCode::kCapability);
+    }
+
+    if (observer != nullptr && !observer->on_level_start(level, candidates)) {
+      result.truncated = true;
+      break;
     }
 
     CountRequest request;
@@ -59,6 +89,8 @@ MiningResult mine_frequent_episodes(std::span<const Symbol> database, const Alph
       result.frequent.push_back({candidates[i], counted.counts[i], support});
       frequent_here.push_back(candidates[i]);
     }
+
+    if (observer != nullptr) observer->on_level_done(report);
 
     candidates = generate_candidates(frequent_here, config.apriori_prune);
     ++level;

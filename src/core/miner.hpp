@@ -44,16 +44,45 @@ struct LevelReport {
 struct MiningResult {
   std::vector<FrequentEpisode> frequent;  ///< all levels, discovery order
   std::vector<LevelReport> levels;
+  /// True when a LevelObserver stopped the run before the candidate set was
+  /// exhausted (e.g. the service layer's latency-budget enforcement): the
+  /// levels counted so far are complete and exact, later ones never ran.
+  bool truncated = false;
 
   [[nodiscard]] std::int64_t total_frequent() const noexcept {
     return static_cast<std::int64_t>(frequent.size());
   }
 };
 
+/// Per-level hook into the mining loop.  The service layer uses it to predict
+/// each level's cost before counting (admission/budget enforcement) and to
+/// collect per-level plan notes; passing no observer reproduces the classic
+/// one-shot behaviour bit for bit.
+class LevelObserver {
+ public:
+  virtual ~LevelObserver() = default;
+  /// Called with each level's candidate set before the counting request is
+  /// issued.  Return false to stop the run: the level is not counted and the
+  /// result is marked truncated.
+  virtual bool on_level_start(int level, std::span<const Episode> candidates) = 0;
+  /// Called after each counted level's elimination step.
+  virtual void on_level_done(const LevelReport& report) = 0;
+};
+
+/// Validate a MinerConfig, throwing gm::PreconditionError tagged
+/// ErrorCode::kInvalidConfig with an actionable message when a field is
+/// outside its domain (support_threshold outside [0,1], negative max_level).
+/// mine_frequent_episodes and the service layer's request admission both
+/// apply it, so a bad config is rejected before any counting work runs.
+void validate_miner_config(const MinerConfig& config);
+
 /// Run Algorithm 1 over `database` using `backend` for the counting step.
+/// The optional observer sees every level; the two-argument-shorter classic
+/// signature is unchanged.
 [[nodiscard]] MiningResult mine_frequent_episodes(std::span<const Symbol> database,
                                                   const Alphabet& alphabet,
                                                   CountingBackend& backend,
-                                                  const MinerConfig& config);
+                                                  const MinerConfig& config,
+                                                  LevelObserver* observer = nullptr);
 
 }  // namespace gm::core

@@ -1,0 +1,15 @@
+#include "service/api.hpp"
+
+namespace gm::service {
+
+std::string_view to_string(Disposition disposition) noexcept {
+  switch (disposition) {
+    case Disposition::kServed: return "served";
+    case Disposition::kCached: return "cached";
+    case Disposition::kTruncated: return "truncated";
+    case Disposition::kRejected: return "rejected";
+  }
+  return "rejected";
+}
+
+}  // namespace gm::service

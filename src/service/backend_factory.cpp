@@ -1,0 +1,46 @@
+#include "service/backend_factory.hpp"
+
+#include <utility>
+
+#include "calib/calibration.hpp"
+#include "common/error.hpp"
+#include "core/cpu_backend.hpp"
+#include "kernels/gpu_backend.hpp"
+#include "planner/auto_backend.hpp"
+#include "sim/device_spec.hpp"
+
+namespace gm::service {
+
+std::vector<std::string_view> backend_names() {
+  return {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "gpusim", "auto"};
+}
+
+planner::PlannerOptions planner_options_for(const BackendSpec& spec) {
+  planner::PlannerOptions options;
+  options.device = gpusim::device_by_name(spec.card);
+  options.cpu_threads = spec.threads;
+  if (!spec.calibration.empty()) {
+    calib::apply_profile(calib::load_profile(spec.calibration), options);
+  }
+  return options;
+}
+
+std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
+  if (auto cpu = core::make_cpu_backend(spec.name, spec.threads)) return cpu;
+  if (spec.name == "gpusim") {
+    return std::make_unique<kernels::SimGpuBackend>(gpusim::device_by_name(spec.card),
+                                                    spec.launch);
+  }
+  if (spec.name == "auto") {
+    return std::make_unique<planner::AutoBackend>(planner_options_for(spec));
+  }
+  std::string known;
+  for (const auto name : backend_names()) {
+    if (!known.empty()) known += ", ";
+    known += name;
+  }
+  gm::raise_precondition("unknown backend '" + spec.name + "' (expected one of: " + known +
+                         ")");
+}
+
+}  // namespace gm::service

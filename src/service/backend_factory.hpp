@@ -1,0 +1,52 @@
+// Public counting-backend factory: everything needed to name a backend on a
+// command line (or in a service session config) and construct it.
+//
+// Promoted out of bench_support/paper_setup so real clients — gminer_cli, the
+// examples, MiningSession — pick backends without linking the benchmark
+// harness; gm::bench keeps thin deprecated aliases for old call sites.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/counting.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "planner/planner.hpp"
+
+namespace gm::service {
+
+/// Everything needed to name a counting backend on a command line.
+struct BackendSpec {
+  /// "cpu-serial" | "cpu-parallel" | "cpu-sharded" | "cpu-single-scan" |
+  /// "gpusim" | "auto" (unprefixed cpu aliases accepted).  "auto" plans the
+  /// formulation per counting level (planner::AutoBackend): `card` names the
+  /// device its GPU candidates are scored for and `threads` its CPU worker
+  /// budget; `launch` is ignored (the planner sweeps algorithms and
+  /// threads-per-block itself).
+  std::string name = "gpusim";
+  int threads = 0;  ///< CPU backends: 0 = hardware concurrency
+  std::string card = "gtx280";
+  kernels::MiningLaunchParams launch = {};  ///< gpusim only
+  /// "auto" only: path of a fitted calibration profile (see calib/ and
+  /// `backend_shootout --fit-calibration`) whose constants replace the
+  /// shipped cost-model defaults the planner scores with.  Empty = shipped.
+  std::string calibration = {};
+};
+
+/// Construct the backend a spec names.  Throws gm::PreconditionError for an
+/// unknown name, listing the valid ones.
+[[nodiscard]] std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec);
+
+/// The names make_backend accepts (for --help text and shootout sweeps).
+[[nodiscard]] std::vector<std::string_view> backend_names();
+
+/// The planner options a spec implies: the device its card names, its CPU
+/// thread budget, and (when set) its calibration profile applied on top of
+/// the shipped cost constants.  This is what "auto" constructs AutoBackend
+/// with; MiningSession uses the same options for admission-control
+/// predictions so the planner scoring requests is the planner running them.
+[[nodiscard]] planner::PlannerOptions planner_options_for(const BackendSpec& spec);
+
+}  // namespace gm::service

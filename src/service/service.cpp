@@ -1,0 +1,209 @@
+#include "service/service.hpp"
+
+#include <string>
+#include <utility>
+
+namespace gm::service {
+namespace {
+
+double since_ms(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
+
+MiningService::MiningService(std::shared_ptr<MiningSession> session, ServiceOptions options)
+    : session_(std::move(session)), options_(options), paused_(options.start_paused) {
+  gm::expects(session_ != nullptr, "service needs a session");
+  gm::expects(options_.workers >= 1, "service needs at least one worker");
+  gm::expects(options_.max_batch >= 1, "max_batch must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+MiningService::~MiningService() { stop(); }
+
+void MiningService::record(Disposition disposition) {
+  // Caller holds mutex_.
+  switch (disposition) {
+    case Disposition::kServed: ++stats_.served; break;
+    case Disposition::kCached: ++stats_.cached; break;
+    case Disposition::kTruncated:
+      ++stats_.served;
+      ++stats_.truncated;
+      break;
+    case Disposition::kRejected: ++stats_.rejected; break;
+  }
+}
+
+std::future<MineResponse> MiningService::submit(MineRequest request) {
+  MineJob job{std::move(request), {}, Clock::now()};
+  std::future<MineResponse> future = job.promise.get_future();
+  std::unique_lock lock(mutex_);
+  ++stats_.submitted;
+  if (stopping_ || queue_.size() >= options_.max_queue) {
+    MineResponse response;
+    response.rejection =
+        stopping_ ? Rejection{ErrorCode::kShutdown, "service is stopping"}
+                  : Rejection{ErrorCode::kQueueFull,
+                              "queue depth " + std::to_string(queue_.size()) +
+                                  " at capacity " + std::to_string(options_.max_queue) +
+                                  " — retry later or raise ServiceOptions.max_queue"};
+    ++stats_.rejected;
+    lock.unlock();
+    job.promise.set_value(std::move(response));
+    return future;
+  }
+  queue_.emplace_back(std::move(job));
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+std::future<CountResponse> MiningService::submit(CountRequest request) {
+  CountJob job{std::move(request), {}, Clock::now(), 0};
+  job.batch = MiningSession::batch_key(job.request);
+  std::future<CountResponse> future = job.promise.get_future();
+  std::unique_lock lock(mutex_);
+  ++stats_.submitted;
+  if (stopping_ || queue_.size() >= options_.max_queue) {
+    CountResponse response;
+    response.rejection =
+        stopping_ ? Rejection{ErrorCode::kShutdown, "service is stopping"}
+                  : Rejection{ErrorCode::kQueueFull,
+                              "queue depth " + std::to_string(queue_.size()) +
+                                  " at capacity " + std::to_string(options_.max_queue) +
+                                  " — retry later or raise ServiceOptions.max_queue"};
+    ++stats_.rejected;
+    lock.unlock();
+    job.promise.set_value(std::move(response));
+    return future;
+  }
+  queue_.emplace_back(std::move(job));
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+void MiningService::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void MiningService::stop() {
+  std::deque<Job> drained;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    paused_ = false;
+    drained.swap(queue_);
+    stats_.rejected += drained.size();
+  }
+  cv_.notify_all();
+  for (Job& job : drained) {
+    if (auto* mine = std::get_if<MineJob>(&job)) {
+      MineResponse response;
+      response.rejection = {ErrorCode::kShutdown, "service stopped before the request ran"};
+      mine->promise.set_value(std::move(response));
+    } else {
+      auto& count = std::get<CountJob>(job);
+      CountResponse response;
+      response.rejection = {ErrorCode::kShutdown, "service stopped before the request ran"};
+      count.promise.set_value(std::move(response));
+    }
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServiceStats MiningService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t MiningService::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void MiningService::worker_loop() {
+  // Each worker owns its backend so counting really runs in parallel; built
+  // lazily on the first job so spinning up a large idle pool stays cheap.
+  std::unique_ptr<core::CountingBackend> backend;
+
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return stopping_ || (!paused_ && !queue_.empty()); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+
+    if (auto* count = std::get_if<CountJob>(&job)) {
+      // Drain compatible queued count work into one backend call.
+      std::vector<CountJob> batch;
+      batch.push_back(std::move(*count));
+      const std::uint64_t key = batch.front().batch;
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < options_.max_batch;) {
+        auto* other = std::get_if<CountJob>(&*it);
+        if (other != nullptr && other->batch == key) {
+          batch.push_back(std::move(*other));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      lock.unlock();
+      if (!backend) backend = session_->new_backend();
+      serve_counts(std::move(batch), *backend);
+    } else {
+      lock.unlock();
+      if (!backend) backend = session_->new_backend();
+      serve_mine(std::move(std::get<MineJob>(job)), *backend);
+    }
+  }
+}
+
+void MiningService::serve_mine(MineJob job, core::CountingBackend& backend) {
+  const double queue_ms = since_ms(job.submitted);
+  MineResponse response = session_->mine_with(job.request, backend);
+  response.timing.queue_ms = queue_ms;
+  {
+    std::lock_guard lock(mutex_);
+    record(response.disposition);
+  }
+  job.promise.set_value(std::move(response));
+}
+
+void MiningService::serve_counts(std::vector<CountJob> jobs, core::CountingBackend& backend) {
+  std::vector<CountRequest> requests;
+  requests.reserve(jobs.size());
+  for (CountJob& job : jobs) requests.push_back(std::move(job.request));
+
+  std::vector<CountResponse> responses = session_->count_batch_with(requests, backend);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      record(responses[i].disposition);
+      if (responses[i].batched_with > 0) ++stats_.batched;
+    }
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    responses[i].timing.queue_ms = since_ms(jobs[i].submitted);
+    jobs[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+}  // namespace gm::service

@@ -1,0 +1,110 @@
+// MiningService: the concurrent front end over a MiningSession.
+//
+// Clients submit() MineRequest/CountRequest from any thread and get a
+// std::future back; a pool of worker threads (each owning its own counting
+// backend, so requests really run in parallel) drains a shared queue.  When
+// a worker picks up a count request it also drains every other queued count
+// request with the same batch key (episode level, semantics, expiry) up to
+// max_batch and serves them with one backend call — batching is what turns
+// many small concurrent queries into the large counting launches the paper's
+// kernels are built for.  Admission control happens twice: at submit() a
+// full queue rejects immediately (ErrorCode::kQueueFull), and at service
+// time the session's planner-driven budget check rejects work predicted to
+// blow its latency budget.  No failure escapes as an exception; every future
+// resolves to a response whose rejection carries a stable code.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "service/api.hpp"
+#include "service/session.hpp"
+
+namespace gm::service {
+
+struct ServiceOptions {
+  /// Worker threads, each with its own backend instance.
+  int workers = 2;
+  /// submit() rejects (kQueueFull) once this many requests are queued.
+  std::size_t max_queue = 256;
+  /// Most count requests one backend call may merge.
+  std::size_t max_batch = 16;
+  /// Construct with workers idle until resume() — deterministic batching for
+  /// tests and benchmarks (submit a burst, then release the workers).
+  bool start_paused = false;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;     ///< fresh results (includes truncated)
+  std::uint64_t cached = 0;     ///< served from the session result cache
+  std::uint64_t truncated = 0;  ///< budget-stopped partial mining results
+  std::uint64_t rejected = 0;   ///< all rejection codes, incl. queue-full
+  std::uint64_t batched = 0;    ///< count requests that shared a backend call
+};
+
+class MiningService {
+ public:
+  explicit MiningService(std::shared_ptr<MiningSession> session, ServiceOptions options = {});
+  ~MiningService();
+
+  MiningService(const MiningService&) = delete;
+  MiningService& operator=(const MiningService&) = delete;
+
+  [[nodiscard]] std::future<MineResponse> submit(MineRequest request);
+  [[nodiscard]] std::future<CountResponse> submit(CountRequest request);
+
+  /// Release workers constructed with start_paused.  Idempotent.
+  void resume();
+
+  /// Reject every queued request (kShutdown) and join the workers.  Called
+  /// by the destructor; safe to call twice.
+  void stop();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] MiningSession& session() noexcept { return *session_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct MineJob {
+    MineRequest request;
+    std::promise<MineResponse> promise;
+    Clock::time_point submitted;
+  };
+  struct CountJob {
+    CountRequest request;
+    std::promise<CountResponse> promise;
+    Clock::time_point submitted;
+    std::uint64_t batch = 0;
+  };
+  using Job = std::variant<MineJob, CountJob>;
+
+  void worker_loop();
+  void serve_mine(MineJob job, core::CountingBackend& backend);
+  void serve_counts(std::vector<CountJob> jobs, core::CountingBackend& backend);
+  void record(Disposition disposition);
+
+  std::shared_ptr<MiningSession> session_;
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  ServiceStats stats_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gm::service

@@ -1,0 +1,141 @@
+// MiningSession: the long-lived object behind the service API.
+//
+// A session owns one loaded database (data::Dataset: events + Alphabet), the
+// workload statistics the planner scores against (alphabet size + smoothed
+// symbol distribution, measured once per load instead of once per request),
+// the planner options a BackendSpec implies (including a fitted
+// CalibrationProfile when configured), a default counting backend, and the
+// result caches.  It serves MineRequest/CountRequest synchronously:
+//
+//   validate -> cache lookup -> planner-driven admission -> count -> cache
+//
+// Admission control uses plan_level cost predictions: a request whose
+// predicted time exceeds its latency budget is rejected before any counting
+// runs (ErrorCode::kAdmissionRejected), and a mining run whose later levels
+// blow the remaining budget is stopped between levels with the partial
+// result marked kTruncated.  Failures never escape as exceptions — they come
+// back as structured Rejections.
+//
+// Concurrency: any number of threads may call mine/count concurrently.  A
+// shared mutex guards the database (reload() takes it exclusively, so a
+// reload waits for in-flight requests and atomically invalidates both
+// caches); a plain mutex guards the caches; the built-in default backend is
+// serialized by its own mutex.  Workers that want real parallelism call the
+// *_with variants with a backend of their own (new_backend()), as
+// MiningService does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/counting.hpp"
+#include "data/dataset_io.hpp"
+#include "planner/planner.hpp"
+#include "service/api.hpp"
+#include "service/backend_factory.hpp"
+#include "service/result_cache.hpp"
+
+namespace gm::service {
+
+struct SessionOptions {
+  /// Backend the session constructs for its own use and for new_backend().
+  /// "auto" (the default) re-plans the formulation at every counting level.
+  BackendSpec backend = {.name = "auto"};
+  std::size_t mine_cache_capacity = 128;
+  std::size_t count_cache_capacity = 512;
+};
+
+class MiningSession {
+ public:
+  /// Loads `dataset` as generation 1.  Throws gm::Error on an empty dataset
+  /// or an unknown backend spec — construction failures are the caller's
+  /// configuration bugs, not request-time rejections.
+  explicit MiningSession(data::Dataset dataset, SessionOptions options = {});
+
+  MiningSession(const MiningSession&) = delete;
+  MiningSession& operator=(const MiningSession&) = delete;
+
+  /// Swap in a new database: bumps the generation, re-measures the workload
+  /// statistics, and invalidates both result caches.  Waits for in-flight
+  /// requests to drain.
+  void reload(data::Dataset dataset);
+
+  /// Serve one request with the session's own backend (serialized).
+  [[nodiscard]] MineResponse mine(const MineRequest& request);
+  [[nodiscard]] CountResponse count(const CountRequest& request);
+
+  /// Serve with a caller-owned backend (one per worker thread for real
+  /// concurrency).  The backend must have been built for this session's
+  /// database shape — new_backend() is the supported way to get one.
+  [[nodiscard]] MineResponse mine_with(const MineRequest& request,
+                                       core::CountingBackend& backend);
+  [[nodiscard]] CountResponse count_with(const CountRequest& request,
+                                         core::CountingBackend& backend);
+
+  /// Serve several compatible count requests (same level, semantics and
+  /// expiry — see batch_key) with one backend call: episodes are
+  /// concatenated, counted together, and the counts split back per request.
+  /// Requests that hit the cache or fail admission are handled individually;
+  /// responses line up with `requests` by index.
+  [[nodiscard]] std::vector<CountResponse> count_batch_with(
+      std::span<const CountRequest> requests, core::CountingBackend& backend);
+
+  /// A fresh backend per the session's spec, for worker threads.
+  [[nodiscard]] std::unique_ptr<core::CountingBackend> new_backend() const;
+
+  /// Two count requests may share a backend call iff their batch keys match
+  /// (episode level, semantics, expiry window).
+  [[nodiscard]] static std::uint64_t batch_key(const CountRequest& request);
+
+  [[nodiscard]] std::uint64_t generation() const;
+  [[nodiscard]] std::int64_t database_size() const;
+  [[nodiscard]] int alphabet_size() const;
+  [[nodiscard]] CacheStats mine_cache_stats() const;
+  [[nodiscard]] CacheStats count_cache_stats() const;
+  [[nodiscard]] const SessionOptions& options() const noexcept { return options_; }
+
+ private:
+  struct CachedMine {
+    core::MiningResult result;
+    std::vector<std::string> plan_notes;
+    double predicted_ms = 0.0;
+  };
+  struct CachedCount {
+    std::vector<std::int64_t> counts;
+    double predicted_ms = 0.0;
+  };
+
+  void load_locked(data::Dataset dataset);
+
+  /// Planner workload for one level of the loaded database (db stats cached
+  /// at load time; caller holds the shared db lock).
+  [[nodiscard]] planner::Workload level_workload(std::int64_t episode_count, int level,
+                                                 core::Semantics semantics,
+                                                 core::ExpiryPolicy expiry) const;
+
+  [[nodiscard]] std::uint64_t mine_key(const core::MinerConfig& config) const;
+  [[nodiscard]] std::uint64_t count_key(const CountRequest& request) const;
+
+  SessionOptions options_;
+  planner::PlannerOptions planner_options_;
+
+  mutable std::shared_mutex db_mutex_;
+  data::Dataset dataset_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t db_digest_ = 0;
+  std::vector<double> symbol_freq_;
+
+  mutable std::mutex cache_mutex_;
+  ResultCache<CachedMine> mine_cache_;
+  ResultCache<CachedCount> count_cache_;
+
+  std::mutex backend_mutex_;
+  std::unique_ptr<core::CountingBackend> backend_;
+};
+
+}  // namespace gm::service

@@ -4,6 +4,7 @@
 #include <array>
 #include <sstream>
 
+#include "bench_support/cli_args.hpp"
 #include "bench_support/report.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -21,6 +22,52 @@ TEST(Error, TypedHierarchy) {
     const std::string what = e.what();
     EXPECT_NE(what.find("bad launch"), std::string::npos);
     EXPECT_NE(what.find("device error"), std::string::npos);
+  }
+}
+
+TEST(Error, StableCodesAcrossTheHierarchy) {
+  // Machine-readable codes: the service layer serializes these into
+  // responses, so each error family must carry its documented code.
+  try {
+    raise_precondition("x");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPrecondition);
+  }
+  try {
+    raise_precondition("x", ErrorCode::kInvalidConfig);
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+  try {
+    raise_invariant("x");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvariant);
+  }
+  try {
+    raise_device("x");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDevice);
+  }
+  EXPECT_EQ(Error("plain").code(), ErrorCode::kUnknown);
+}
+
+TEST(Error, CodeNamesAreStableSnakeCase) {
+  EXPECT_EQ(error_code_name(ErrorCode::kUsage), "usage");
+  EXPECT_EQ(error_code_name(ErrorCode::kInvalidConfig), "invalid_config");
+  EXPECT_EQ(error_code_name(ErrorCode::kAdmissionRejected), "admission_rejected");
+  EXPECT_EQ(error_code_name(ErrorCode::kQueueFull), "queue_full");
+  EXPECT_EQ(error_code_name(ErrorCode::kCapability), "capability");
+  EXPECT_EQ(error_code_name(ErrorCode::kShutdown), "shutdown");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnknown), "unknown");
+}
+
+TEST(Error, UsageErrorCarriesUsageCode) {
+  try {
+    (void)bench::parse_int("--tpb", "x64", 1, 512);
+    FAIL() << "parse_int should reject non-numeric input";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUsage);
+    EXPECT_NE(std::string(e.what()).find("--tpb"), std::string::npos);
   }
 }
 

@@ -2,6 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/cpu_backend.hpp"
@@ -182,6 +187,114 @@ TEST(Miner, RejectsBadInputs) {
   const Sequence bad = {0, 200};  // symbol outside a 26-letter alphabet
   EXPECT_THROW((void)mine_frequent_episodes(bad, kAbc, backend, config),
                gm::PreconditionError);
+}
+
+TEST(Miner, ValidatesConfigDomainsWithInvalidConfigCode) {
+  // Out-of-domain configs used to silently produce empty (threshold > 1) or
+  // surprising runs; they are now rejected before any counting happens.
+  MinerConfig config;
+  config.support_threshold = 1.5;
+  try {
+    validate_miner_config(config);
+    FAIL() << "support_threshold 1.5 should be rejected";
+  } catch (const gm::Error& e) {
+    EXPECT_EQ(e.code(), gm::ErrorCode::kInvalidConfig);
+    EXPECT_NE(std::string(e.what()).find("[0, 1]"), std::string::npos);
+  }
+  config = {};
+  config.max_level = -1;
+  try {
+    validate_miner_config(config);
+    FAIL() << "negative max_level should be rejected";
+  } catch (const gm::Error& e) {
+    EXPECT_EQ(e.code(), gm::ErrorCode::kInvalidConfig);
+  }
+  config = {};
+  config.expiry.window = -3;
+  EXPECT_THROW(validate_miner_config(config), gm::PreconditionError);
+  config = {};  // defaults are valid
+  EXPECT_NO_THROW(validate_miner_config(config));
+  config.support_threshold = 1.0;
+  config.max_level = 0;
+  EXPECT_NO_THROW(validate_miner_config(config));
+
+  SerialCpuBackend backend;
+  const Sequence db = {0, 1, 2, 0, 1, 2};
+  config = {};
+  config.support_threshold = -0.5;
+  EXPECT_THROW((void)mine_frequent_episodes(db, kAbc, backend, config),
+               gm::PreconditionError);
+}
+
+TEST(Miner, LevelCapErrorCarriesCapabilityCode) {
+  class CappedBackend final : public CountingBackend {
+   public:
+    [[nodiscard]] std::string name() const override { return "capped"; }
+    [[nodiscard]] int max_level() const override { return 1; }
+    [[nodiscard]] CountResult count(const CountRequest& request) override {
+      SerialCpuBackend serial;
+      return serial.count(request);
+    }
+  };
+  Sequence db;
+  for (int i = 0; i < 50; ++i) {
+    db.push_back(0);
+    db.push_back(1);
+  }
+  CappedBackend backend;
+  MinerConfig config;
+  config.support_threshold = 0.0;
+  config.max_level = 3;
+  try {
+    (void)mine_frequent_episodes(db, kAbc, backend, config);
+    FAIL() << "mining past the backend level cap should be rejected";
+  } catch (const gm::Error& e) {
+    EXPECT_EQ(e.code(), gm::ErrorCode::kCapability);
+  }
+}
+
+TEST(Miner, ObserverSeesLevelsAndCanTruncate) {
+  class StopAfterOne final : public LevelObserver {
+   public:
+    bool on_level_start(int level, std::span<const Episode> candidates) override {
+      starts.push_back({level, static_cast<std::int64_t>(candidates.size())});
+      return level <= 1;
+    }
+    void on_level_done(const LevelReport& report) override { done.push_back(report.level); }
+    std::vector<std::pair<int, std::int64_t>> starts;
+    std::vector<int> done;
+  };
+
+  Sequence db;
+  for (int i = 0; i < 100; ++i) {
+    db.push_back(0);
+    db.push_back(1);
+    db.push_back(2);
+  }
+  MinerConfig config;
+  config.support_threshold = 0.1;
+  config.max_level = 3;
+  SerialCpuBackend backend;
+
+  StopAfterOne observer;
+  const MiningResult truncated =
+      mine_frequent_episodes(db, kAbc, backend, config, &observer);
+  EXPECT_TRUE(truncated.truncated);
+  ASSERT_EQ(truncated.levels.size(), 1u);
+  ASSERT_EQ(observer.starts.size(), 2u);
+  EXPECT_EQ(observer.starts[0].first, 1);
+  EXPECT_EQ(observer.starts[0].second, 26);  // level-1 candidates = alphabet
+  EXPECT_EQ(observer.starts[1].first, 2);
+  EXPECT_EQ(observer.done, std::vector<int>{1});
+
+  // The truncated prefix is bit-identical to the classic run's first level.
+  const MiningResult full = mine(db, kAbc, config);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(truncated.levels[0].frequent, full.levels[0].frequent);
+  for (std::size_t i = 0; i < truncated.frequent.size(); ++i) {
+    EXPECT_EQ(truncated.frequent[i].episode, full.frequent[i].episode);
+    EXPECT_EQ(truncated.frequent[i].count, full.frequent[i].count);
+  }
 }
 
 }  // namespace

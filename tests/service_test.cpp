@@ -1,0 +1,489 @@
+// Service-layer suite: sessions, the concurrent MiningService, result
+// caching, batching, and planner-driven admission control.
+//
+// The load-bearing property is bit-exactness: whatever path a request takes
+// through the service — fresh, cached, batched with strangers, served by any
+// worker — the response must be identical to a direct mine_frequent_episodes
+// / SerialCpuBackend::count of the same request.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/cpu_backend.hpp"
+#include "core/miner.hpp"
+#include "data/generators.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
+
+namespace gm::service {
+namespace {
+
+data::Dataset make_dataset(int alphabet_size, std::int64_t size, std::uint64_t seed) {
+  data::Dataset dataset{core::Alphabet(alphabet_size), {}};
+  dataset.events = data::uniform_database(dataset.alphabet, size, seed);
+  return dataset;
+}
+
+std::vector<core::Episode> random_level_episodes(Rng& rng, int alphabet_size, int count,
+                                                 int level) {
+  std::vector<core::Episode> episodes;
+  episodes.reserve(static_cast<std::size_t>(count));
+  for (int e = 0; e < count; ++e) {
+    std::vector<core::Symbol> symbols;
+    for (int i = 0; i < level; ++i) {
+      symbols.push_back(
+          static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(alphabet_size))));
+    }
+    episodes.emplace_back(std::move(symbols));
+  }
+  return episodes;
+}
+
+std::vector<std::int64_t> oracle_counts(const data::Dataset& dataset,
+                                        const std::vector<core::Episode>& episodes,
+                                        core::Semantics semantics, core::ExpiryPolicy expiry) {
+  core::SerialCpuBackend serial;
+  core::CountRequest request;
+  request.database = dataset.events;
+  request.episodes = episodes;
+  request.semantics = semantics;
+  request.expiry = expiry;
+  return serial.count(request).counts;
+}
+
+void expect_same_mining(const core::MiningResult& got, const core::MiningResult& want) {
+  ASSERT_EQ(got.frequent.size(), want.frequent.size());
+  for (std::size_t i = 0; i < want.frequent.size(); ++i) {
+    EXPECT_EQ(got.frequent[i].episode, want.frequent[i].episode);
+    EXPECT_EQ(got.frequent[i].count, want.frequent[i].count);
+    EXPECT_DOUBLE_EQ(got.frequent[i].support, want.frequent[i].support);
+  }
+  ASSERT_EQ(got.levels.size(), want.levels.size());
+  for (std::size_t i = 0; i < want.levels.size(); ++i) {
+    EXPECT_EQ(got.levels[i].candidates, want.levels[i].candidates);
+    EXPECT_EQ(got.levels[i].frequent, want.levels[i].frequent);
+  }
+}
+
+TEST(ServiceSession, MineMatchesOracleAndRepeatHitsCache) {
+  for (const auto semantics :
+       {core::Semantics::kNonOverlappedSubsequence, core::Semantics::kContiguousRestart}) {
+    for (const std::int64_t window : {std::int64_t{0}, std::int64_t{5}}) {
+      data::Dataset dataset = make_dataset(10, 4000, 42);
+      MiningSession session(dataset, {.backend = {.name = "cpu-single-scan"}});
+
+      MineRequest request;
+      request.config.support_threshold = 0.002;
+      request.config.max_level = 3;
+      request.config.semantics = semantics;
+      request.config.expiry = {window};
+
+      const MineResponse first = session.mine(request);
+      ASSERT_EQ(first.disposition, Disposition::kServed)
+          << first.rejection.reason;
+      EXPECT_EQ(first.database_generation, 1u);
+      EXPECT_EQ(first.plan_notes.size(), first.result.levels.size());
+
+      core::SerialCpuBackend serial;
+      const core::MiningResult want =
+          core::mine_frequent_episodes(dataset.events, dataset.alphabet, serial, request.config);
+      expect_same_mining(first.result, want);
+
+      const MineResponse second = session.mine(request);
+      ASSERT_EQ(second.disposition, Disposition::kCached);
+      EXPECT_EQ(second.cache_key, first.cache_key);
+      expect_same_mining(second.result, first.result);
+      EXPECT_GE(session.mine_cache_stats().hits, 1u);
+    }
+  }
+}
+
+TEST(ServiceSession, RandomizedCountsMatchOracleAcrossSemanticsAndExpiry) {
+  Rng rng(2026);
+  data::Dataset dataset = make_dataset(14, 5000, 7);
+  MiningSession session(dataset, {.backend = {.name = "auto", .threads = 2}});
+
+  for (const auto semantics :
+       {core::Semantics::kNonOverlappedSubsequence, core::Semantics::kContiguousRestart}) {
+    for (const std::int64_t window : {std::int64_t{0}, std::int64_t{6}}) {
+      for (int round = 0; round < 3; ++round) {
+        CountRequest request;
+        request.episodes = random_level_episodes(
+            rng, 14, 10 + static_cast<int>(rng.below(20)), 1 + static_cast<int>(rng.below(3)));
+        request.semantics = semantics;
+        request.expiry = {window};
+
+        const CountResponse response = session.count(request);
+        ASSERT_EQ(response.disposition, Disposition::kServed) << response.rejection.reason;
+        EXPECT_EQ(response.counts,
+                  oracle_counts(dataset, request.episodes, semantics, {window}));
+
+        // A repeat of the same episode set must come from the cache,
+        // bit-identical.
+        const CountResponse repeat = session.count(request);
+        ASSERT_EQ(repeat.disposition, Disposition::kCached);
+        EXPECT_EQ(repeat.counts, response.counts);
+      }
+    }
+  }
+}
+
+TEST(ServiceSession, ReloadInvalidatesCachesAndBumpsGeneration) {
+  data::Dataset first = make_dataset(8, 3000, 1);
+  MiningSession session(first, {.backend = {.name = "cpu-serial"}});
+
+  MineRequest request;
+  request.config.support_threshold = 0.001;
+  request.config.max_level = 2;
+
+  const MineResponse warm = session.mine(request);
+  ASSERT_EQ(warm.disposition, Disposition::kServed);
+  ASSERT_EQ(session.mine(request).disposition, Disposition::kCached);
+
+  data::Dataset second = make_dataset(8, 3000, 999);
+  session.reload(second);
+  EXPECT_EQ(session.generation(), 2u);
+  EXPECT_GE(session.mine_cache_stats().invalidations, 1u);
+
+  // Same request, new database: a fresh run against the new events, not a
+  // stale cached answer.
+  const MineResponse fresh = session.mine(request);
+  ASSERT_EQ(fresh.disposition, Disposition::kServed);
+  EXPECT_EQ(fresh.database_generation, 2u);
+  EXPECT_NE(fresh.cache_key, warm.cache_key);
+  core::SerialCpuBackend serial;
+  const core::MiningResult want =
+      core::mine_frequent_episodes(second.events, second.alphabet, serial, request.config);
+  expect_same_mining(fresh.result, want);
+}
+
+TEST(ServiceSession, InvalidConfigsAreRejectedWithStableCodes) {
+  MiningSession session(make_dataset(6, 500, 3), {.backend = {.name = "cpu-serial"}});
+
+  MineRequest bad_support;
+  bad_support.config.support_threshold = 1.5;
+  const MineResponse r1 = session.mine(bad_support);
+  EXPECT_EQ(r1.disposition, Disposition::kRejected);
+  EXPECT_EQ(r1.rejection.code, ErrorCode::kInvalidConfig);
+  EXPECT_NE(r1.rejection.reason.find("[0, 1]"), std::string::npos);
+
+  MineRequest bad_level;
+  bad_level.config.max_level = -2;
+  const MineResponse r2 = session.mine(bad_level);
+  EXPECT_EQ(r2.disposition, Disposition::kRejected);
+  EXPECT_EQ(r2.rejection.code, ErrorCode::kInvalidConfig);
+
+  CountRequest empty;
+  const CountResponse r3 = session.count(empty);
+  EXPECT_EQ(r3.disposition, Disposition::kRejected);
+  EXPECT_EQ(r3.rejection.code, ErrorCode::kInvalidConfig);
+
+  CountRequest mixed;
+  mixed.episodes = {core::Episode({0, 1}), core::Episode({2})};  // mixed levels
+  const CountResponse r4 = session.count(mixed);
+  EXPECT_EQ(r4.disposition, Disposition::kRejected);
+  EXPECT_EQ(r4.rejection.code, ErrorCode::kInvalidConfig);
+
+  CountRequest outside;
+  outside.episodes = {core::Episode({0, 42})};  // symbol outside the 6-symbol alphabet
+  const CountResponse r5 = session.count(outside);
+  EXPECT_EQ(r5.disposition, Disposition::kRejected);
+  EXPECT_EQ(r5.rejection.code, ErrorCode::kInvalidConfig);
+}
+
+TEST(ServiceSession, AdmissionRejectsWorkOverTheLatencyBudget) {
+  MiningSession session(make_dataset(12, 6000, 11), {.backend = {.name = "cpu-single-scan"}});
+
+  MineRequest request;
+  request.config.support_threshold = 0.001;
+  request.config.max_level = 3;
+  request.limits.latency_budget_ms = 1e-9;  // nothing fits
+
+  const MineResponse response = session.mine(request);
+  EXPECT_EQ(response.disposition, Disposition::kRejected);
+  EXPECT_EQ(response.rejection.code, ErrorCode::kAdmissionRejected);
+  EXPECT_NE(response.rejection.reason.find("latency budget"), std::string::npos);
+  EXPECT_TRUE(response.result.frequent.empty());
+  EXPECT_GT(response.timing.predicted_ms, 0.0);
+
+  CountRequest count;
+  Rng rng(5);
+  count.episodes = random_level_episodes(rng, 12, 30, 2);
+  count.limits.latency_budget_ms = 1e-9;
+  const CountResponse count_response = session.count(count);
+  EXPECT_EQ(count_response.disposition, Disposition::kRejected);
+  EXPECT_EQ(count_response.rejection.code, ErrorCode::kAdmissionRejected);
+}
+
+TEST(ServiceSession, MidBudgetMineTruncatesBetweenLevelsExactly) {
+  data::Dataset dataset = make_dataset(12, 6000, 13);
+  SessionOptions options{.backend = {.name = "cpu-single-scan"}};
+  MiningSession session(dataset, options);
+
+  MineRequest unbounded;
+  unbounded.config.support_threshold = 0.0;  // everything survives to level 3
+  unbounded.config.max_level = 3;
+  const MineResponse full = session.mine(unbounded);
+  ASSERT_EQ(full.disposition, Disposition::kServed);
+  ASSERT_EQ(full.result.levels.size(), 3u);
+
+  // Budget covers level 1 (26 candidates' worth of prediction) but not the
+  // accumulated prediction through level 2's candidate explosion: pick the
+  // midpoint of the planner's own per-level accumulation by probing with the
+  // full run's predicted total.
+  MineRequest budgeted = unbounded;
+  budgeted.limits.latency_budget_ms = full.timing.predicted_ms * 0.5;
+  const MineResponse partial = session.mine(budgeted);
+  if (partial.disposition == Disposition::kTruncated) {
+    EXPECT_TRUE(partial.result.truncated);
+    EXPECT_EQ(partial.rejection.code, ErrorCode::kAdmissionRejected);
+    ASSERT_LT(partial.result.levels.size(), full.result.levels.size());
+    // The levels that did run are complete and identical to the full run.
+    for (std::size_t i = 0; i < partial.result.levels.size(); ++i) {
+      EXPECT_EQ(partial.result.levels[i].candidates, full.result.levels[i].candidates);
+      EXPECT_EQ(partial.result.levels[i].frequent, full.result.levels[i].frequent);
+    }
+    for (std::size_t i = 0; i < partial.result.frequent.size(); ++i) {
+      EXPECT_EQ(partial.result.frequent[i].episode, full.result.frequent[i].episode);
+      EXPECT_EQ(partial.result.frequent[i].count, full.result.frequent[i].count);
+    }
+  } else {
+    // Half the predicted total still covered every level on this machine's
+    // cost model — the budget path was still exercised by the tiny-budget
+    // rejection test above.
+    EXPECT_EQ(partial.disposition, Disposition::kCached);
+  }
+}
+
+TEST(ServiceSession, LevelCapIsACapabilityRejection) {
+  MiningSession session(make_dataset(6, 400, 9),
+                        {.backend = {.name = "gpusim"}});
+  CountRequest request;
+  std::vector<core::Symbol> symbols(static_cast<std::size_t>(kernels::kMaxLevel) + 1, 0);
+  request.episodes = {core::Episode(symbols)};
+  const CountResponse response = session.count(request);
+  EXPECT_EQ(response.disposition, Disposition::kRejected);
+  EXPECT_EQ(response.rejection.code, ErrorCode::kCapability);
+  EXPECT_NE(response.rejection.reason.find("level"), std::string::npos);
+}
+
+TEST(MiningServiceTest, PausedBurstBatchesCompatibleCounts) {
+  data::Dataset dataset = make_dataset(10, 3000, 21);
+  auto session = std::make_shared<MiningSession>(dataset,
+                                                 SessionOptions{.backend = {.name = "cpu-serial"}});
+  MiningService service(session,
+                        {.workers = 1, .max_queue = 64, .max_batch = 16, .start_paused = true});
+
+  Rng rng(77);
+  std::vector<CountRequest> requests;
+  std::vector<std::future<CountResponse>> futures;
+  for (int i = 0; i < 5; ++i) {
+    CountRequest request;
+    request.episodes = random_level_episodes(rng, 10, 8, 2);
+    futures.push_back(service.submit(request));
+    requests.push_back(std::move(request));
+  }
+  // One incompatible straggler (different expiry window): must not join.
+  CountRequest straggler;
+  straggler.episodes = random_level_episodes(rng, 10, 8, 2);
+  straggler.expiry = {4};
+  futures.push_back(service.submit(straggler));
+  requests.push_back(std::move(straggler));
+
+  EXPECT_EQ(service.queue_depth(), 6u);
+  service.resume();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const CountResponse response = futures[i].get();
+    ASSERT_EQ(response.disposition, Disposition::kServed) << response.rejection.reason;
+    EXPECT_EQ(response.counts, oracle_counts(dataset, requests[i].episodes,
+                                             requests[i].semantics, requests[i].expiry));
+    if (i < 5) {
+      EXPECT_EQ(response.batched_with, 4);
+    } else {
+      EXPECT_EQ(response.batched_with, 0);
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.served, 6u);
+  EXPECT_EQ(stats.batched, 5u);
+}
+
+TEST(MiningServiceTest, ZeroCapacityQueueRejectsAtSubmit) {
+  auto session = std::make_shared<MiningSession>(make_dataset(6, 300, 2),
+                                                 SessionOptions{.backend = {.name = "cpu-serial"}});
+  MiningService service(session, {.workers = 1, .max_queue = 0, .start_paused = true});
+  MineRequest request;
+  const MineResponse response = service.submit(request).get();
+  EXPECT_EQ(response.disposition, Disposition::kRejected);
+  EXPECT_EQ(response.rejection.code, ErrorCode::kQueueFull);
+  EXPECT_NE(response.rejection.reason.find("max_queue"), std::string::npos);
+}
+
+TEST(MiningServiceTest, StopRejectsQueuedWorkWithShutdownCode) {
+  auto session = std::make_shared<MiningSession>(make_dataset(6, 300, 2),
+                                                 SessionOptions{.backend = {.name = "cpu-serial"}});
+  MiningService service(session, {.workers = 1, .max_queue = 8, .start_paused = true});
+  MineRequest request;
+  auto queued = service.submit(request);
+  service.stop();
+  const MineResponse response = queued.get();
+  EXPECT_EQ(response.disposition, Disposition::kRejected);
+  EXPECT_EQ(response.rejection.code, ErrorCode::kShutdown);
+  // Post-stop submissions are rejected immediately, not queued forever.
+  const MineResponse late = service.submit(request).get();
+  EXPECT_EQ(late.rejection.code, ErrorCode::kShutdown);
+}
+
+// Many clients, many workers, mixed mine/count traffic with repeats: every
+// future resolves, every response is either bit-exact or a coded rejection,
+// and cached responses equal their freshly-served twins.  Runs under the
+// sanitizer-clean label (and the CI TSan job) to keep the locking honest.
+TEST(MiningServiceTest, ConcurrentMixedTrafficStaysExact) {
+  data::Dataset dataset = make_dataset(10, 2500, 31);
+  auto session = std::make_shared<MiningSession>(
+      dataset, SessionOptions{.backend = {.name = "cpu-single-scan"}});
+  MiningService service(session, {.workers = 4, .max_queue = 1024, .max_batch = 8});
+
+  // Oracle answers for the three mine templates the clients will replay.
+  std::vector<MineRequest> templates(3);
+  templates[0].config = {.support_threshold = 0.002, .max_level = 2};
+  templates[1].config = {.support_threshold = 0.01,
+                         .max_level = 2,
+                         .semantics = core::Semantics::kContiguousRestart};
+  templates[2].config = {.support_threshold = 0.005, .max_level = 3, .expiry = {6}};
+  std::vector<core::MiningResult> oracles;
+  for (const MineRequest& t : templates) {
+    core::SerialCpuBackend serial;
+    oracles.push_back(
+        core::mine_frequent_episodes(dataset.events, dataset.alphabet, serial, t.config));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 12;
+  std::vector<std::vector<std::future<MineResponse>>> mine_futures(kClients);
+  std::vector<std::vector<int>> mine_template(kClients);
+  std::vector<std::vector<std::future<CountResponse>>> count_futures(kClients);
+  std::vector<std::vector<CountRequest>> count_requests(kClients);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        if (rng.chance(0.5)) {
+          const int t = static_cast<int>(rng.below(templates.size()));
+          mine_template[c].push_back(t);
+          mine_futures[c].push_back(service.submit(templates[t]));
+        } else {
+          CountRequest request;
+          request.episodes = random_level_episodes(rng, 10, 6, 2);
+          count_futures[c].push_back(service.submit(request));
+          count_requests[c].push_back(std::move(request));
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (std::size_t i = 0; i < mine_futures[c].size(); ++i) {
+      const MineResponse response = mine_futures[c][i].get();
+      ASSERT_TRUE(response.ok()) << response.rejection.reason;
+      expect_same_mining(response.result, oracles[static_cast<std::size_t>(
+                                              mine_template[c][i])]);
+    }
+    for (std::size_t i = 0; i < count_futures[c].size(); ++i) {
+      const CountResponse response = count_futures[c][i].get();
+      ASSERT_TRUE(response.ok()) << response.rejection.reason;
+      EXPECT_EQ(response.counts,
+                oracle_counts(dataset, count_requests[c][i].episodes,
+                              count_requests[c][i].semantics, count_requests[c][i].expiry));
+    }
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.served + stats.cached, stats.submitted);
+  EXPECT_GE(stats.cached, 1u);  // repeated mine templates must hit the cache
+}
+
+// Concurrent reload against live traffic: responses are always internally
+// consistent (counts from exactly one generation, never a torn mix).
+TEST(MiningServiceTest, ReloadUnderTrafficKeepsGenerationsCoherent) {
+  data::Dataset gen1 = make_dataset(8, 1500, 51);
+  data::Dataset gen2 = make_dataset(8, 1500, 52);
+  auto session = std::make_shared<MiningSession>(
+      gen1, SessionOptions{.backend = {.name = "cpu-serial"}});
+  MiningService service(session, {.workers = 3, .max_queue = 1024});
+
+  CountRequest probe;
+  probe.episodes = {core::Episode({0, 1}), core::Episode({2, 3})};
+  const std::vector<std::int64_t> want1 =
+      oracle_counts(gen1, probe.episodes, probe.semantics, probe.expiry);
+  const std::vector<std::int64_t> want2 =
+      oracle_counts(gen2, probe.episodes, probe.semantics, probe.expiry);
+
+  std::vector<std::future<CountResponse>> futures;
+  futures.reserve(40);
+  for (int i = 0; i < 20; ++i) futures.push_back(service.submit(probe));
+  session->reload(gen2);
+  for (int i = 0; i < 20; ++i) futures.push_back(service.submit(probe));
+
+  for (auto& future : futures) {
+    const CountResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.rejection.reason;
+    if (response.database_generation == 1) {
+      EXPECT_EQ(response.counts, want1);
+    } else {
+      ASSERT_EQ(response.database_generation, 2u);
+      EXPECT_EQ(response.counts, want2);
+    }
+  }
+}
+
+TEST(ResultCacheTest, LruEvictionAndStats) {
+  ResultCache<int> cache(2);
+  cache.put(1, 100);
+  cache.put(2, 200);
+  EXPECT_EQ(cache.get(1), std::optional<int>(100));  // refreshes 1
+  cache.put(3, 300);                                 // evicts 2 (least recent)
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1), std::optional<int>(100));
+  EXPECT_EQ(cache.get(3), std::optional<int>(300));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, DigestSeparatesNearbyKeys) {
+  // Same fields, different order/values must not collide (regression guard
+  // for the cache key construction, not a hash-quality proof).
+  const std::uint64_t a = Digest().mix(1).mix(2).value();
+  const std::uint64_t b = Digest().mix(2).mix(1).value();
+  const std::uint64_t c = Digest().mix(1).mix(3).value();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  const std::uint64_t e1 = Digest().mix(core::Episode({0, 1})).value();
+  const std::uint64_t e2 = Digest().mix(core::Episode({1, 0})).value();
+  EXPECT_NE(e1, e2);
+  EXPECT_NE(Digest().mix(0.5).value(), Digest().mix(0.25).value());
+}
+
+}  // namespace
+}  // namespace gm::service

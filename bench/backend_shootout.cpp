@@ -13,11 +13,19 @@
 //
 //   backend_shootout [--db N] [--alphabet N] [--episodes N] [--level L]
 //                    [--threads T] [--expiry W] [--semantics subseq|contig]
-//                    [--repeat R] [--seed S] [--zipf S]
+//                    [--repeat R] [--seed S] [--zipf S] [--prefix-pool P]
 //                    [--gpu] [--card 8800|gx2|gtx280] [--tpb N]
 //                    [--validate-planner] [--tpb-sweep A,B,...]
 //                    [--max-regret R] [--json PATH]
 //                    [--calibration PROFILE.json] [--fit-calibration OUT.json]
+//
+// --prefix-pool P draws every candidate's first level-1 symbols from a pool
+// of P random prefixes instead of fully at random, mimicking the shared
+// prefixes of an apriori level-L candidate set; the measured prefix mass
+// lands near (P * (L-1) + |episodes|) / (|episodes| * L), the regime where
+// the shared-prefix trie formulations (cpu-trie-scan, gpusim-algo5-trie)
+// overtake the flat ones.  The planner-validation JSON records the measured
+// prefix_compression per level plus trie-vs-flat pick tallies.
 //
 // --gpu additionally runs every simulated-GPU formulation (algorithms 1-5)
 // through the functional engine and cross-checks its counts end to end; use
@@ -82,6 +90,7 @@ struct Options {
   int repeat = 3;
   std::uint64_t seed = 2009;
   double zipf = 0.0;  ///< 0 = uniform stream
+  int prefix_pool = 0;  ///< 0 = fully random episodes; >0 = shared prefixes
   bool gpu = false;
   std::string card = "gtx280";
   int tpb = 32;
@@ -95,21 +104,40 @@ struct Options {
 };
 
 std::vector<gm::core::Episode> random_episodes(const gm::core::Alphabet& alphabet, int count,
-                                               int level, gm::Rng& rng) {
+                                               int level, int prefix_pool, gm::Rng& rng) {
   std::vector<gm::core::Symbol> pool(static_cast<std::size_t>(alphabet.size()));
   std::iota(pool.begin(), pool.end(), gm::core::Symbol{0});
-  std::vector<gm::core::Episode> episodes;
-  episodes.reserve(static_cast<std::size_t>(count));
-  for (int e = 0; e < count; ++e) {
-    // Partial Fisher-Yates: the first `level` slots become a random
-    // distinct-symbol episode (the paper's episode space).
-    for (int i = 0; i < level; ++i) {
+  const auto draw_distinct = [&](int n) {
+    // Partial Fisher-Yates: the first `n` slots become a random
+    // distinct-symbol prefix (the paper's episode space).
+    for (int i = 0; i < n; ++i) {
       const auto j = static_cast<std::size_t>(i) +
                      static_cast<std::size_t>(rng.below(pool.size() - static_cast<std::size_t>(i)));
       std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
     }
-    episodes.emplace_back(
-        std::vector<gm::core::Symbol>(pool.begin(), pool.begin() + level));
+    return std::vector<gm::core::Symbol>(pool.begin(), pool.begin() + n);
+  };
+
+  std::vector<gm::core::Episode> episodes;
+  episodes.reserve(static_cast<std::size_t>(count));
+  if (prefix_pool > 0 && level > 1) {
+    // Shared-prefix mode: every episode starts with one of `prefix_pool`
+    // fixed (level-1)-prefixes and ends in a random unused symbol, the shape
+    // an apriori join produces.
+    std::vector<std::vector<gm::core::Symbol>> prefixes;
+    prefixes.reserve(static_cast<std::size_t>(prefix_pool));
+    for (int p = 0; p < prefix_pool; ++p) prefixes.push_back(draw_distinct(level - 1));
+    for (int e = 0; e < count; ++e) {
+      auto symbols = prefixes[rng.below(prefixes.size())];
+      gm::core::Symbol last;
+      do {
+        last = static_cast<gm::core::Symbol>(rng.below(static_cast<std::size_t>(alphabet.size())));
+      } while (std::find(symbols.begin(), symbols.end(), last) != symbols.end());
+      symbols.push_back(last);
+      episodes.emplace_back(std::move(symbols));
+    }
+  } else {
+    for (int e = 0; e < count; ++e) episodes.emplace_back(draw_distinct(level));
   }
   return episodes;
 }
@@ -163,6 +191,7 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
       .field("expiry", opt.expiry)
       .field("semantics", to_string(opt.semantics))
       .field("zipf", opt.zipf)
+      .field("prefix_pool", opt.prefix_pool)
       .field("card", opt.card)
       .field("cpu_threads", gm::core::resolved_thread_count(opt.threads))
       .field("seed", static_cast<std::int64_t>(opt.seed));
@@ -177,6 +206,8 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
   bool gate_failed = false;
   bool all_agree = true;
   double worst_regret = 1.0;
+  int trie_picks = 0;
+  int flat_picks = 0;
   std::vector<gm::calib::FitSample> fit_samples;
 
   for (int level = 1; level <= opt.level; ++level) {
@@ -184,7 +215,7 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
     // a seeded random candidate set of the configured size.
     const std::vector<gm::core::Episode> episodes =
         level == 1 ? gm::core::all_distinct_episodes(alphabet, 1)
-                   : random_episodes(alphabet, opt.episodes, level, rng);
+                   : random_episodes(alphabet, opt.episodes, level, opt.prefix_pool, rng);
 
     gm::core::CountRequest request;
     request.database = db;
@@ -248,9 +279,14 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
         (pick_measured + kRegretFloorMs) / (best_measured + kRegretFloorMs);
     worst_regret = std::max(worst_regret, regret);
 
+    const bool trie_pick =
+        plan.winner().config.label().find("trie") != std::string::npos;
+    (trie_pick ? trie_picks : flat_picks) += 1;
+
     json.begin_object();
     json.field("level", level);
     json.field("episode_count", static_cast<std::int64_t>(episodes.size()));
+    json.field("prefix_compression", workload.prefix_compression);
     json.field("pick", plan.winner().config.label());
     json.field("pick_predicted_ms", plan.winner().predicted_ms);
     json.field("pick_measured_ms", pick_measured);
@@ -292,7 +328,10 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
 
   json.end_array();
   json.field("worst_regret", worst_regret);
+  json.field("trie_picks", trie_picks);
+  json.field("flat_picks", flat_picks);
   json.field("agree", all_agree);
+  std::printf("picks: %d shared-prefix trie, %d flat\n", trie_picks, flat_picks);
 
   if (!opt.fit_path.empty()) {
     // Fit from this run's measurements, anchored by the paper-figure probes
@@ -380,6 +419,8 @@ int main(int argc, char** argv) {
         opt.seed = static_cast<std::uint64_t>(
             gm::bench::parse_int64(arg, next(), 0, std::numeric_limits<std::int64_t>::max()));
       else if (arg == "--zipf") opt.zipf = gm::bench::parse_double(arg, next(), 0.0, 10.0);
+      else if (arg == "--prefix-pool")
+        opt.prefix_pool = gm::bench::parse_int(arg, next(), 0, 10'000'000);
       else if (arg == "--gpu") opt.gpu = true;
       else if (arg == "--card") opt.card = next();
       else if (arg == "--tpb") opt.tpb = gm::bench::parse_int(arg, next(), 1, 1 << 16);
@@ -441,7 +482,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto episodes = random_episodes(alphabet, opt.episodes, opt.level, rng);
+  const auto episodes =
+      random_episodes(alphabet, opt.episodes, opt.level, opt.prefix_pool, rng);
 
   gm::core::CountRequest request;
   request.database = db;
@@ -462,7 +504,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-20s %12s %10s %10s\n", "backend", "best ms", "vs serial", "agrees");
   for (const auto name :
-       {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan"}) {
+       {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "cpu-trie-scan"}) {
     gm::bench::BackendSpec spec;
     spec.name = name;
     spec.threads = opt.threads;

@@ -31,7 +31,10 @@
 // a request is rejected for a reason other than the configured budget, or
 // when the --min-cache-hits gate fails.  CI runs this under the bench job
 // and uploads BENCH_service.json (throughput, p50/p99 latency, cache and
-// batching counters).
+// batching counters, plus each count template's measured prefix-compression
+// factor and the planner's trie-vs-flat pick tally for those templates —
+// even-numbered templates share an apriori-style prefix, odd ones are fully
+// random, so both regimes appear in every replay).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -49,6 +52,8 @@
 #include "core/cpu_backend.hpp"
 #include "core/miner.hpp"
 #include "data/generators.hpp"
+#include "planner/planner.hpp"
+#include "planner/workload.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -159,9 +164,20 @@ int main(int argc, char** argv) {
       service::CountRequest request;
       const int level = 1 + static_cast<int>(rng.below(3));
       const int episodes = 8 + static_cast<int>(rng.below(24));
+      // Even templates share one (level-1)-symbol prefix across their whole
+      // episode set, the shape an apriori join produces — real prefix mass
+      // for the shared-prefix trie formulations to react to.  Odd templates
+      // stay fully random.
+      std::vector<core::Symbol> shared;
+      if (t % 2 == 0) {
+        for (int s = 0; s + 1 < level; ++s) {
+          shared.push_back(
+              static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(opt.alphabet))));
+        }
+      }
       for (int e = 0; e < episodes; ++e) {
-        std::vector<core::Symbol> symbols;
-        for (int s = 0; s < level; ++s) {
+        std::vector<core::Symbol> symbols = shared;
+        while (static_cast<int>(symbols.size()) < level) {
           symbols.push_back(
               static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(opt.alphabet))));
         }
@@ -170,6 +186,31 @@ int main(int argc, char** argv) {
       if (t % 2 == 1) request.expiry = {6};
       request.limits.latency_budget_ms = opt.budget_ms;
       count_pool.push_back(std::move(request));
+    }
+
+    // Shared-prefix telemetry: every count template's measured prefix mass,
+    // and the formulation the planner picks for its workload (the same
+    // plan_level call a session running `--backend auto` makes per level).
+    planner::PlannerOptions plan_options;
+    plan_options.cpu_threads = opt.threads;
+    std::vector<double> template_prefix_mass;
+    int trie_picks = 0;
+    int flat_picks = 0;
+    double mean_prefix_mass = 0.0;
+    for (const service::CountRequest& request : count_pool) {
+      core::CountRequest raw;
+      raw.database = dataset.events;
+      raw.episodes = request.episodes;
+      raw.semantics = request.semantics;
+      raw.expiry = request.expiry;
+      const planner::Workload workload = planner::workload_of(raw, opt.alphabet);
+      template_prefix_mass.push_back(workload.prefix_compression);
+      mean_prefix_mass +=
+          workload.prefix_compression / static_cast<double>(count_pool.size());
+      const planner::Plan plan = planner::plan_level(workload, plan_options);
+      const bool trie_pick =
+          plan.winner().config.label().find("trie") != std::string::npos;
+      (trie_pick ? trie_picks : flat_picks) += 1;
     }
 
     // Uncached oracles, computed before the service sees any traffic.
@@ -290,6 +331,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(mine_cache.hits),
                 static_cast<unsigned long long>(count_cache.hits),
                 static_cast<long long>(mismatches));
+    std::printf("  count templates: mean prefix mass %.2f, planner picks %d trie / %d flat\n",
+                mean_prefix_mass, trie_picks, flat_picks);
 
     bench::JsonWriter json;
     json.begin_object();
@@ -332,6 +375,15 @@ int main(int argc, char** argv) {
         .field("mine_misses", static_cast<std::int64_t>(mine_cache.misses))
         .field("count_hits", static_cast<std::int64_t>(count_cache.hits))
         .field("count_misses", static_cast<std::int64_t>(count_cache.misses))
+        .end_object();
+    json.key("prefix_compression").begin_array();
+    for (const double mass : template_prefix_mass) json.value(mass);
+    json.end_array();
+    json.key("planner")
+        .begin_object()
+        .field("trie_picks", trie_picks)
+        .field("flat_picks", flat_picks)
+        .field("mean_prefix_compression", mean_prefix_mass)
         .end_object();
     json.field("budget_rejections", budget_rejections);
     json.field("truncated_runs", truncated);

@@ -18,7 +18,9 @@
 #include "bench_support/json.hpp"
 #include "bench_support/paper_setup.hpp"
 #include "calib/calibration.hpp"
+#include "core/candidate_gen.hpp"
 #include "core/cpu_backend.hpp"
+#include "core/episode_trie.hpp"
 #include "data/generators.hpp"
 #include "planner/planner.hpp"
 
@@ -35,13 +37,19 @@ std::vector<Shape> reference_shapes() {
 
   // The paper's evaluation workload, level by level: the candidate count
   // explodes from 26 to 15,600, which is exactly where the winning
-  // formulation flips.
+  // formulation flips.  The prefix-compression factor is measured from the
+  // real candidate set of the level (all distinct-symbol episodes, the
+  // apriori superset the miner counts), not assumed — level-L sets land near
+  // 1/L plus the last-symbol fringe.
+  const gm::core::Alphabet paper_alphabet(26);
   for (int level = 1; level <= 3; ++level) {
     planner::Workload w;
     w.db_size = gm::data::kPaperDatabaseSize;
     w.episode_count = gm::bench::paper_episode_count(level);
     w.level = level;
     w.alphabet_size = 26;
+    w.prefix_compression =
+        gm::core::prefix_compression(gm::core::all_distinct_episodes(paper_alphabet, level));
     shapes.push_back({"paper-level" + std::to_string(level), w});
   }
 
@@ -177,6 +185,7 @@ int main(int argc, char** argv) {
           .field("episode_count", workload.episode_count)
           .field("level", workload.level)
           .field("alphabet", workload.alphabet_size)
+          .field("prefix_compression", workload.prefix_compression)
           .field("semantics", to_string(workload.semantics))
           .field("expiry", workload.expiry.window)
           .field("skewed", !workload.symbol_freq.empty());

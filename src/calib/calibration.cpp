@@ -31,6 +31,10 @@ const std::vector<ParamRef>& calibration_params() {
        [](CalibrationProfile& p) -> double& { return p.kernel.bucket_file_instr; }},
       {"kernel.expiry_heap_instr",
        [](CalibrationProfile& p) -> double& { return p.kernel.expiry_heap_instr; }},
+      {"kernel.trie_drain_instr",
+       [](CalibrationProfile& p) -> double& { return p.kernel.trie_drain_instr; }},
+      {"kernel.trie_accept_instr",
+       [](CalibrationProfile& p) -> double& { return p.kernel.trie_accept_instr; }},
       // CPU cost-curve constants (planner/cpu_cost_model.hpp).
       {"cpu.serial_step_ns",
        [](CalibrationProfile& p) -> double& { return p.cpu.serial_step_ns; }},
@@ -44,6 +48,10 @@ const std::vector<ParamRef>& calibration_params() {
        [](CalibrationProfile& p) -> double& { return p.cpu.scan_drain_ns; }},
       {"cpu.scan_dense_step_ns",
        [](CalibrationProfile& p) -> double& { return p.cpu.scan_dense_step_ns; }},
+      {"cpu.trie_drain_ns",
+       [](CalibrationProfile& p) -> double& { return p.cpu.trie_drain_ns; }},
+      {"cpu.trie_accept_ns",
+       [](CalibrationProfile& p) -> double& { return p.cpu.trie_accept_ns; }},
       {"cpu.expiry_heap_ns",
        [](CalibrationProfile& p) -> double& { return p.cpu.expiry_heap_ns; }},
       {"cpu.thread_spawn_us",

@@ -70,12 +70,14 @@ double predict_sample_ms(const CalibrationProfile& profile, const FitSample& sam
       return planner::predict_cpu_sharded_ms(w, sample.config.threads, profile.cpu);
     case BackendKind::kCpuSingleScan:
       return planner::predict_cpu_single_scan_ms(w, profile.cpu);
+    case BackendKind::kCpuTrieScan: return planner::predict_cpu_trie_ms(w, profile.cpu);
     case BackendKind::kGpuSim: {
       const gpusim::CostModel model(sample.cost_params);
       return kernels::predict_mining_time(
                  sample.device,
                  planner::gpu_workload_spec(w, sample.config.algorithm,
-                                            sample.config.threads_per_block),
+                                            sample.config.threads_per_block,
+                                            sample.config.trie_buckets),
                  model, profile.kernel)
           .total_ms;
     }

@@ -1,6 +1,7 @@
 #include "core/candidate_gen.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <unordered_set>
 
@@ -24,18 +25,32 @@ std::uint64_t episode_space_size(int alphabet_size, int level) {
 
 namespace {
 
-void extend(const Alphabet& alphabet, std::vector<Symbol>& prefix, int level,
-            std::vector<Episode>& out) {
+/// 256-bit membership mask over the 8-bit symbol space: O(1) "is this symbol
+/// already in the prefix" instead of scanning the prefix per symbol tried.
+struct SymbolMask {
+  std::array<std::uint64_t, 4> words{};
+
+  [[nodiscard]] bool test(Symbol s) const noexcept {
+    return ((words[s >> 6] >> (s & 63)) & 1u) != 0;
+  }
+  void set(Symbol s) noexcept { words[s >> 6] |= std::uint64_t{1} << (s & 63); }
+  void clear(Symbol s) noexcept { words[s >> 6] &= ~(std::uint64_t{1} << (s & 63)); }
+};
+
+void extend(const Alphabet& alphabet, std::vector<Symbol>& prefix, SymbolMask& used,
+            int level, std::vector<Episode>& out) {
   if (static_cast<int>(prefix.size()) == level) {
     out.emplace_back(prefix);
     return;
   }
   for (int s = 0; s < alphabet.size(); ++s) {
     const auto symbol = static_cast<Symbol>(s);
-    if (std::find(prefix.begin(), prefix.end(), symbol) != prefix.end()) continue;
+    if (used.test(symbol)) continue;
+    used.set(symbol);
     prefix.push_back(symbol);
-    extend(alphabet, prefix, level, out);
+    extend(alphabet, prefix, used, level, out);
     prefix.pop_back();
+    used.clear(symbol);
   }
 }
 
@@ -49,7 +64,8 @@ std::vector<Episode> all_distinct_episodes(const Alphabet& alphabet, int level) 
   out.reserve(n);
   std::vector<Symbol> prefix;
   prefix.reserve(static_cast<std::size_t>(level));
-  extend(alphabet, prefix, level, out);
+  SymbolMask used;
+  extend(alphabet, prefix, used, level, out);
   gm::ensure(out.size() == n, "episode enumeration disagrees with Table 1 formula");
   return out;
 }
@@ -67,21 +83,36 @@ std::vector<Episode> generate_candidates(const std::vector<Episode>& frequent_pr
 
   std::unordered_set<Episode, EpisodeHash> frequent_set(frequent_prev.begin(),
                                                         frequent_prev.end());
+
+  // Join from a lexicographically sorted view so candidates come out in
+  // prefix-sorted order (the trie engine then builds in one linear pass):
+  // a-major emission sorts by the full (level-1)-prefix a, and every b
+  // joinable with one a shares the prefix a[1..], so within the group the
+  // appended last symbols are ascending too.  Mining levels are usually
+  // already sorted (level 1 is, and this function keeps the invariant), so
+  // the copy is the exceptional path.
+  std::vector<Episode> sorted_view;
+  const std::vector<Episode>* frequent = &frequent_prev;
+  if (!std::is_sorted(frequent_prev.begin(), frequent_prev.end())) {
+    sorted_view = frequent_prev;
+    std::sort(sorted_view.begin(), sorted_view.end());
+    frequent = &sorted_view;
+  }
   std::vector<Episode> candidates;
 
   if (prev_level == 1) {
     // Join two level-1 episodes <a>, <b> (a != b allowed to repeat? the
     // episode model permits repeats; the paper's space uses distinct symbols
     // but general mining should not assume it).
-    for (const auto& a : frequent_prev) {
-      for (const auto& b : frequent_prev) {
+    for (const auto& a : *frequent) {
+      for (const auto& b : *frequent) {
         std::vector<Symbol> symbols{a.at(0), b.at(0)};
         candidates.emplace_back(std::move(symbols));
       }
     }
   } else {
-    for (const auto& a : frequent_prev) {
-      for (const auto& b : frequent_prev) {
+    for (const auto& a : *frequent) {
+      for (const auto& b : *frequent) {
         // a = <x, m...>, b = <m..., y>  ->  <x, m..., y>
         bool joinable = true;
         for (int i = 0; i + 1 < prev_level; ++i) {
@@ -98,6 +129,8 @@ std::vector<Episode> generate_candidates(const std::vector<Episode>& frequent_pr
     }
   }
 
+  gm::ensure(std::is_sorted(candidates.begin(), candidates.end()),
+             "candidate join must emit lexicographic prefix-sorted episodes");
   if (!prune) return candidates;
 
   std::vector<Episode> pruned;

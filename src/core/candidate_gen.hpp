@@ -27,7 +27,9 @@ namespace gm::core {
 /// level k-1.  Two frequent episodes a, b join into a ++ b.back() when
 /// a[1..] == b[..k-2].  When `prune` is set, candidates with any level-(k-1)
 /// sub-episode (single deletion) absent from `frequent_prev` are dropped
-/// (anti-monotonicity of episode support).
+/// (anti-monotonicity of episode support).  Candidates are always emitted in
+/// lexicographic (prefix-sorted) order, so the shared-prefix trie
+/// (core/episode_trie.hpp) builds over them in one linear pass.
 [[nodiscard]] std::vector<Episode> generate_candidates(const std::vector<Episode>& frequent_prev,
                                                        bool prune = true);
 

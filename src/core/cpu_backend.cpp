@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/episode_trie.hpp"
 #include "core/multi_counter.hpp"
 #include "core/segment_counter.hpp"
 #include "core/serial_counter.hpp"
@@ -170,6 +171,15 @@ CountResult SingleScanCpuBackend::count(const CountRequest& request) {
   return result;
 }
 
+CountResult TrieCpuBackend::count(const CountRequest& request) {
+  const auto start = Clock::now();
+  CountResult result;
+  result.counts = count_all_trie_scan(request.episodes, request.database, request.semantics,
+                                      request.expiry);
+  result.host_ms = elapsed_ms(start);
+  return result;
+}
+
 std::unique_ptr<CountingBackend> make_cpu_backend(std::string_view name, int threads) {
   auto matches = [&](std::string_view canonical) {
     return name == canonical ||
@@ -179,6 +189,7 @@ std::unique_ptr<CountingBackend> make_cpu_backend(std::string_view name, int thr
   if (matches("cpu-parallel")) return std::make_unique<ParallelCpuBackend>(threads);
   if (matches("cpu-sharded")) return std::make_unique<ShardedCpuBackend>(threads);
   if (matches("cpu-single-scan")) return std::make_unique<SingleScanCpuBackend>();
+  if (matches("cpu-trie-scan")) return std::make_unique<TrieCpuBackend>();
   return nullptr;
 }
 

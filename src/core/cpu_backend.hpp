@@ -7,11 +7,14 @@
 //   cpu-parallel       episodes          O(|DB| * |eps| / t)
 //   cpu-sharded        database          O(|DB| * |eps| * L / t) map + fold
 //   cpu-single-scan    — (indexed)       O(|DB| * (1 + |eps|/|alphabet|))
+//   cpu-trie-scan      — (shared)        O(|DB| * (1 + |prefixes|/|alphabet|))
 //
 // cpu-parallel scales with the candidate count, cpu-sharded with the stream
 // length (the axis that matters when candidates are few but the database is
-// long), and cpu-single-scan replaces brute-force rescans with one pass
-// driving all automata through a waiting-symbol bucket index.
+// long), cpu-single-scan replaces brute-force rescans with one pass driving
+// all automata through a waiting-symbol bucket index, and cpu-trie-scan folds
+// prefix-sharing candidates into a trie so one partial match advances every
+// episode sharing that prefix (core/episode_trie.hpp).
 #pragma once
 
 #include <memory>
@@ -74,6 +77,16 @@ class SingleScanCpuBackend final : public CountingBackend {
   [[nodiscard]] CountResult count(const CountRequest& request) override;
 };
 
+/// Single-threaded shared-prefix engine: one database pass drives trie-node
+/// tokens, advancing all prefix-sharing episodes together
+/// (core/episode_trie.hpp).  Strongest when the candidate set's
+/// prefix-compression factor is small (deep Apriori levels).
+class TrieCpuBackend final : public CountingBackend {
+ public:
+  [[nodiscard]] std::string name() const override { return "cpu-trie-scan"; }
+  [[nodiscard]] CountResult count(const CountRequest& request) override;
+};
+
 /// The worker count a CPU backend constructed with `threads` will actually
 /// use: 0 resolves to the hardware concurrency, and the result is never less
 /// than 1.  Exposed as a capability query so a planner predicting backend
@@ -81,7 +94,8 @@ class SingleScanCpuBackend final : public CountingBackend {
 [[nodiscard]] int resolved_thread_count(int threads) noexcept;
 
 /// Construct a CPU backend by name: "cpu-serial", "cpu-parallel",
-/// "cpu-sharded", or "cpu-single-scan" (unprefixed aliases accepted).
+/// "cpu-sharded", "cpu-single-scan", or "cpu-trie-scan" (unprefixed aliases
+/// accepted).
 /// Returns nullptr for unknown names so callers can layer their own backends
 /// (e.g. the simulated GPU) on top of the selection.
 [[nodiscard]] std::unique_ptr<CountingBackend> make_cpu_backend(std::string_view name,

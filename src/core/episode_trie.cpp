@@ -1,0 +1,369 @@
+#include "core/episode_trie.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace gm::core {
+namespace {
+
+/// Contiguous run [lo, hi) of lexicographically sorted episode indices.
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// Removes episode `e` from a sorted disjoint interval list.  Returns false
+/// (list untouched) when `e` is not a member.
+bool remove_point(std::vector<Interval>& intervals, std::uint32_t e) {
+  auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), e,
+      [](std::uint32_t value, const Interval& iv) { return value < iv.lo; });
+  if (it == intervals.begin()) return false;
+  --it;
+  if (e >= it->hi) return false;
+  const Interval old = *it;
+  if (old.lo == e && old.hi == e + 1) {
+    intervals.erase(it);
+  } else if (old.lo == e) {
+    it->lo = e + 1;
+  } else if (old.hi == e + 1) {
+    it->hi = e;
+  } else {
+    it->hi = e;
+    intervals.insert(it + 1, Interval{e + 1, old.hi});
+  }
+  return true;
+}
+
+/// Moves `intervals ∩ [lo, hi)` into `out` (appended in order), keeping the
+/// rest.  At most the two boundary intervals are split.
+void extract_range(std::vector<Interval>& intervals, std::uint32_t lo, std::uint32_t hi,
+                   std::vector<Interval>& out) {
+  auto first = std::partition_point(intervals.begin(), intervals.end(),
+                                    [&](const Interval& iv) { return iv.hi <= lo; });
+  auto it = first;
+  Interval right_keep{0, 0};
+  while (it != intervals.end() && it->lo < hi) {
+    out.push_back({std::max(it->lo, lo), std::min(it->hi, hi)});
+    if (it->hi > hi) right_keep = {hi, it->hi};
+    ++it;
+  }
+  if (first == it) return;  // nothing overlapped
+  if (first->lo < lo) {
+    first->hi = lo;  // keep the left remainder in place
+    ++first;
+  }
+  it = intervals.erase(first, it);
+  if (right_keep.hi > right_keep.lo) intervals.insert(it, right_keep);
+}
+
+/// Sorts a batch of returned intervals and coalesces adjacent runs.
+void normalize(std::vector<Interval>& intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    if (w > 0 && intervals[w - 1].hi == intervals[r].lo) {
+      intervals[w - 1].hi = intervals[r].hi;
+    } else {
+      intervals[w++] = intervals[r];
+    }
+  }
+  intervals.resize(w);
+}
+
+std::int64_t member_count(const std::vector<Interval>& intervals) {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals) total += iv.hi - iv.lo;
+  return total;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EpisodeTrie
+// ---------------------------------------------------------------------------
+
+EpisodeTrie::EpisodeTrie(std::span<const Episode> episodes) {
+  gm::expects(episodes.size() <= std::numeric_limits<std::uint32_t>::max(),
+              "too many episodes for the trie index");
+  order_.resize(episodes.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::stable_sort(order_.begin(), order_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return episodes[a] < episodes[b];  // lexicographic on symbols
+  });
+
+  nodes_.emplace_back();  // root: empty prefix, covers everything
+  nodes_.front().hi = static_cast<std::uint32_t>(episodes.size());
+  root_children_.fill(0);
+
+  // Consecutive sorted episodes share a path prefix, so insertion is one walk
+  // down the shared part plus fresh nodes for the new suffix: linear overall.
+  std::vector<std::uint32_t> path;  // nodes of the previous episode's spine
+  std::span<const Symbol> prev;
+  for (std::uint32_t k = 0; k < static_cast<std::uint32_t>(order_.size()); ++k) {
+    const std::span<const Symbol> symbols = episodes[order_[k]].symbols();
+    total_symbols_ += static_cast<std::int64_t>(symbols.size());
+    std::size_t shared = 0;
+    while (shared < symbols.size() && shared < prev.size() &&
+           symbols[shared] == prev[shared]) {
+      ++shared;
+    }
+    path.resize(shared);
+    for (const std::uint32_t n : path) nodes_[n].hi = k + 1;
+    for (std::size_t d = shared; d < symbols.size(); ++d) {
+      const std::uint32_t parent = path.empty() ? 0 : path.back();
+      const auto child = static_cast<std::uint32_t>(nodes_.size());
+      Node node;
+      node.first_symbol = path.empty() ? symbols[d] : nodes_[path.front()].first_symbol;
+      node.depth = static_cast<std::int32_t>(d) + 1;
+      node.lo = k;
+      node.hi = k + 1;
+      nodes_.push_back(std::move(node));
+      nodes_[parent].children.push_back({symbols[d], child});
+      if (parent == 0) root_children_[symbols[d]] = child;
+      path.push_back(child);
+    }
+    if (!path.empty()) nodes_[path.back()].terminals.push_back(k);
+    prev = symbols;
+  }
+}
+
+double prefix_compression(std::span<const Episode> episodes) {
+  if (episodes.empty()) return 1.0;
+  const EpisodeTrie trie(episodes);
+  if (trie.total_symbols() == 0) return 1.0;
+  return static_cast<double>(trie.node_count() - 1) /
+         static_cast<double>(trie.total_symbols());
+}
+
+// ---------------------------------------------------------------------------
+// TrieCounter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One in-flight partial match: a trie node plus the episodes that are
+/// mid-match with exactly that prefix since `first_pos`.  All members are in
+/// lockstep, so the token expires, advances, and splits as a unit.
+struct Token {
+  std::uint32_t node = 0;
+  std::int64_t first_pos = 0;
+  std::uint64_t gen = 0;  // bumped on release: stale bucket/deadline refs die
+  std::vector<Interval> members;
+};
+
+struct BucketEntry {
+  std::uint32_t token = 0;
+  std::uint64_t gen = 0;
+};
+
+struct Deadline {
+  std::int64_t at = 0;
+  std::uint32_t token = 0;
+  std::uint64_t gen = 0;
+  friend bool operator>(const Deadline& a, const Deadline& b) { return a.at > b.at; }
+};
+
+}  // namespace
+
+struct TrieCounter::Impl {
+  std::vector<std::int64_t> counts;  // sorted-episode order
+  std::vector<Token> tokens;
+  std::vector<std::uint32_t> free_tokens;
+  // Symbol is 8-bit, so direct-mapped tables cover every alphabet: waiting
+  // tokens by awaited symbol, and idle (state-0) episodes by first symbol.
+  std::vector<std::vector<BucketEntry>> buckets{256};
+  std::vector<std::vector<Interval>> idle{256};
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> deadlines;
+  std::vector<BucketEntry> scratch;
+
+  std::uint32_t acquire() {
+    if (!free_tokens.empty()) {
+      const std::uint32_t id = free_tokens.back();
+      free_tokens.pop_back();
+      return id;
+    }
+    tokens.emplace_back();
+    return static_cast<std::uint32_t>(tokens.size() - 1);
+  }
+
+  void release(std::uint32_t id) {
+    tokens[id].members.clear();
+    ++tokens[id].gen;
+    free_tokens.push_back(id);
+  }
+
+  /// Accept terminals, schedule expiry, and file the surviving token under
+  /// every child edge it still has members for.  Call right after the token
+  /// lands on `trie.node(token.node)` — filings go into the live buckets, so
+  /// a repeated prefix symbol waits for its NEXT occurrence.
+  void arrive(std::uint32_t id, const EpisodeTrie& trie, ExpiryPolicy expiry, Ops& ops) {
+    Token& token = tokens[id];
+    const EpisodeTrie::Node& node = trie.node(token.node);
+    for (const std::uint32_t e : node.terminals) {
+      if (!remove_point(token.members, e)) continue;
+      ++counts[e];
+      ++ops.accepts;
+      ++ops.files;
+      idle[node.first_symbol].push_back({e, e + 1});
+    }
+    if (token.members.empty()) {
+      release(id);
+      return;
+    }
+    if (expiry.enabled()) {
+      deadlines.push({token.first_pos + expiry.window, id, token.gen});
+      ++ops.heap_ops;
+    }
+    // Children and member intervals are both ordered by sorted-episode index,
+    // so one merge walk finds every child edge with members behind it.
+    std::size_t j = 0;
+    for (const EpisodeTrie::Edge& edge : node.children) {
+      const EpisodeTrie::Node& child = trie.node(edge.node);
+      while (j < token.members.size() && token.members[j].hi <= child.lo) ++j;
+      if (j == token.members.size()) break;
+      if (token.members[j].lo < child.hi) {
+        buckets[edge.symbol].push_back({id, token.gen});
+        ++ops.files;
+      }
+    }
+  }
+};
+
+TrieCounter::TrieCounter(std::span<const Episode> episodes, Semantics semantics,
+                         ExpiryPolicy expiry, std::int64_t database_size)
+    : semantics_(semantics), expiry_(expiry) {
+  for (const auto& e : episodes) gm::expects(!e.empty(), "cannot count an empty episode");
+  if (semantics_ == Semantics::kContiguousRestart) {
+    // Dense fallback: mismatch edges let any symbol transition any in-flight
+    // automaton, so the waiting-symbol index (and the trie) cannot skip work.
+    dense_automata_.reserve(episodes.size());
+    for (const auto& e : episodes) dense_automata_.emplace_back(e.symbols(), semantics_, expiry_);
+    dense_counts_.assign(episodes.size(), 0);
+    return;
+  }
+  // Same overflow guard as the single-scan engine: deadlines are
+  // first_pos + window, and any window >= |DB| behaves identically.
+  if (expiry_.enabled()) expiry_.window = std::min(expiry_.window, database_size);
+  trie_ = std::make_unique<EpisodeTrie>(episodes);
+  impl_ = std::make_unique<Impl>();
+  impl_->counts.assign(episodes.size(), 0);
+  // Every episode starts idle; each root subtree is one contiguous interval.
+  for (const EpisodeTrie::Edge& edge : trie_->root().children) {
+    const EpisodeTrie::Node& child = trie_->node(edge.node);
+    impl_->idle[edge.symbol].push_back({child.lo, child.hi});
+    ++ops_.files;
+  }
+}
+
+TrieCounter::TrieCounter(TrieCounter&&) noexcept = default;
+TrieCounter& TrieCounter::operator=(TrieCounter&&) noexcept = default;
+TrieCounter::~TrieCounter() = default;
+
+void TrieCounter::advance(Symbol symbol, std::int64_t pos) {
+  if (!dense_automata_.empty() || trie_ == nullptr) {
+    for (std::size_t a = 0; a < dense_automata_.size(); ++a) {
+      if (dense_automata_[a].step(symbol, pos)) ++dense_counts_[a];
+    }
+    ops_.dense_steps += static_cast<std::int64_t>(dense_automata_.size());
+    return;
+  }
+  advance_sparse(symbol, pos);
+}
+
+void TrieCounter::advance_sparse(Symbol symbol, std::int64_t pos) {
+  Impl& im = *impl_;
+  ++ops_.probes;
+
+  // Expire matches that can no longer finish by this position.  Members go
+  // back to the idle set BEFORE dispatch, so they can catch a fresh first
+  // symbol at this very position — exactly the single-scan re-bucketing.
+  if (expiry_.enabled()) {
+    while (!im.deadlines.empty() && im.deadlines.top().at <= pos) {
+      const Deadline d = im.deadlines.top();
+      im.deadlines.pop();
+      Token& token = im.tokens[d.token];
+      if (token.gen != d.gen) continue;  // released or reused since
+      ++ops_.heap_ops;
+      const Symbol first = trie_->node(token.node).first_symbol;
+      for (const Interval& iv : token.members) {
+        im.idle[first].push_back(iv);
+        ++ops_.files;
+      }
+      im.release(d.token);
+    }
+  }
+
+  // Swap the waiting bucket out first: everything filed from here on (fresh
+  // root tokens, advanced child tokens) awaits the NEXT occurrence of
+  // `symbol`, never a second step on this one.
+  auto& bucket = im.buckets[symbol];
+  im.scratch.swap(bucket);
+
+  // Root dispatch: every idle episode whose first symbol is `symbol` starts a
+  // match together, as ONE token over the swapped-out idle interval set.
+  const std::uint32_t start_node = trie_->root_child(symbol);
+  if (start_node != 0 && !im.idle[symbol].empty()) {
+    const std::uint32_t id = im.acquire();
+    Token& token = im.tokens[id];
+    token.node = start_node;
+    token.first_pos = pos;
+    token.members.swap(im.idle[symbol]);
+    normalize(token.members);
+    ops_.starts += member_count(token.members);
+    im.arrive(id, *trie_, expiry_, ops_);
+  }
+
+  // Drain waiting tokens: each one advances all its members sharing the next
+  // prefix symbol in a single split toward the matching child.
+  for (const BucketEntry entry : im.scratch) {
+    if (im.tokens[entry.token].gen != entry.gen) continue;  // expired since
+    const EpisodeTrie::Node& node = trie_->node(im.tokens[entry.token].node);
+    const auto edge = std::lower_bound(
+        node.children.begin(), node.children.end(), symbol,
+        [](const EpisodeTrie::Edge& e, Symbol s) { return e.symbol < s; });
+    if (edge == node.children.end() || edge->symbol != symbol) continue;
+    ++ops_.drains;
+    const EpisodeTrie::Node& child = trie_->node(edge->node);
+    const std::uint32_t id = im.acquire();  // may reallocate: re-index below
+    Token& parent = im.tokens[entry.token];
+    Token& moved = im.tokens[id];
+    moved.node = edge->node;
+    moved.first_pos = parent.first_pos;
+    extract_range(parent.members, child.lo, child.hi, moved.members);
+    if (moved.members.empty()) {  // defensive: filings always have members
+      im.release(id);
+      continue;
+    }
+    if (parent.members.empty()) im.release(entry.token);
+    im.arrive(id, *trie_, expiry_, ops_);
+  }
+  im.scratch.clear();
+}
+
+std::vector<std::int64_t> TrieCounter::counts() const {
+  if (trie_ == nullptr) return dense_counts_;
+  std::vector<std::int64_t> result(impl_->counts.size(), 0);
+  const std::span<const std::uint32_t> order = trie_->order();
+  for (std::size_t k = 0; k < order.size(); ++k) result[order[k]] = impl_->counts[k];
+  return result;
+}
+
+std::vector<std::int64_t> count_all_trie_scan(std::span<const Episode> episodes,
+                                              std::span<const Symbol> database,
+                                              Semantics semantics, ExpiryPolicy expiry) {
+  if (episodes.empty()) return {};
+  TrieCounter counter(episodes, semantics, expiry,
+                      static_cast<std::int64_t>(database.size()));
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    counter.advance(database[i], static_cast<std::int64_t>(i));
+  }
+  return counter.counts();
+}
+
+}  // namespace gm::core

@@ -72,6 +72,16 @@ inline constexpr int kBucketFileInstr = 2;
 /// Per expiry-deadline min-heap push or pop.
 inline constexpr int kExpiryHeapInstr = 4;
 
+/// Trie mode: per drained shared-prefix token — child-edge lookup plus the
+/// interval split that moves the surviving members one trie level deeper.
+/// Heavier than a flat drain (kBucketDrainInstr), but one token drain
+/// advances every episode sharing the prefix.
+inline constexpr int kTrieDrainInstr = 6;
+
+/// Trie mode: per completed episode occurrence at a trie terminal (count
+/// bump + membership removal + idle-interval return).
+inline constexpr int kTrieAcceptInstr = 4;
+
 /// Registers per thread declared to the occupancy calculator.
 inline constexpr int kRegistersPerThread = 10;
 
@@ -106,6 +116,8 @@ struct KernelCostProfile {
   double bucket_drain_instr = kBucketDrainInstr;
   double bucket_file_instr = kBucketFileInstr;
   double expiry_heap_instr = kExpiryHeapInstr;
+  double trie_drain_instr = kTrieDrainInstr;
+  double trie_accept_instr = kTrieAcceptInstr;
 };
 
 }  // namespace gm::kernels

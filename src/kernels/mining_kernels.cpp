@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <numeric>
+#include <optional>
 #include <queue>
 #include <span>
 
 #include "common/error.hpp"
+#include "core/episode_trie.hpp"
 #include "core/segment_counter.hpp"
 
 namespace gm::kernels {
@@ -35,6 +37,7 @@ struct Views {
   core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
   core::ExpiryPolicy expiry = {};
   int buffer_bytes = kDefaultBufferBytes;
+  bool trie_buckets = false;  ///< algorithm 5: shared-prefix token buckets
 };
 
 /// [begin, end) of thread `tid` when `size` symbols are split across
@@ -483,9 +486,15 @@ gpusim::KernelTask algo5_kernel(ThreadCtx& ctx, Views v) {
   }
 
   // Stage owned episodes (device loads; symbol data through the host
-  // mirror), then file each automaton under its first symbol.
+  // mirror), then file each automaton under its first symbol.  Trie mode
+  // takes a *contiguous* slice of the block's (lexicographically staged)
+  // slot range so the owned episodes form whole trie subtrees; the flat
+  // formulation keeps the interleaved slice.  Both assignments give lane
+  // `tid` the same owned count, so the workload model's occupancy math is
+  // shared.
+  const bool trie = v.trie_buckets && !dense;
   std::vector<BucketOwned> owned;
-  for (std::int64_t s = slots.begin + tid; s < slots.end; s += t) {
+  const auto stage_slot = [&](std::int64_t s) {
     BucketOwned o;
     o.slot = s;
     const std::int64_t off = s * L;
@@ -495,6 +504,14 @@ gpusim::KernelTask algo5_kernel(ThreadCtx& ctx, Views v) {
     o.episode = v.episodes_host.subspan(static_cast<std::size_t>(off),
                                         static_cast<std::size_t>(L));
     owned.push_back(o);
+  };
+  if (v.trie_buckets) {
+    const Range sub = thread_chunk(slots.size(), t, tid);
+    for (std::int64_t s = slots.begin + sub.begin; s < slots.begin + sub.end; ++s) {
+      stage_slot(s);
+    }
+  } else {
+    for (std::int64_t s = slots.begin + tid; s < slots.end; s += t) stage_slot(s);
   }
 
   // Dense fallback state (contiguous restart).
@@ -504,10 +521,28 @@ gpusim::KernelTask algo5_kernel(ThreadCtx& ctx, Views v) {
   std::priority_queue<BucketDeadline, std::vector<BucketDeadline>, std::greater<>>
       deadlines;
   std::vector<BucketEntry> drain;
+  // Trie mode: the host shared-prefix engine runs the thread's contiguous
+  // episode range; device charges are replayed from its per-position op
+  // deltas below.
+  std::vector<core::Episode> trie_episodes;
+  std::optional<core::TrieCounter> trie_counter;
+  core::TrieCounter::Ops trie_prev{};
   if (dense) {
     dense_automata.reserve(owned.size());
     for (const BucketOwned& o : owned) {
       dense_automata.emplace_back(o.episode, v.semantics, v.expiry);
+    }
+  } else if (trie) {
+    trie_episodes.reserve(owned.size());
+    for (const BucketOwned& o : owned) {
+      trie_episodes.emplace_back(
+          std::vector<Symbol>(o.episode.begin(), o.episode.end()));
+    }
+    if (!owned.empty()) {
+      trie_counter.emplace(trie_episodes, v.semantics, v.expiry, v.db_size);
+      // Initial idle filing under episode[0], one per owned slot — the same
+      // upfront charge as the flat formulation's first-symbol bucketing.
+      ctx.charge(static_cast<int>(owned.size()) * kBucketFileInstr);
     }
   } else {
     buckets.resize(256);
@@ -538,6 +573,35 @@ gpusim::KernelTask algo5_kernel(ThreadCtx& ctx, Views v) {
             ctx.charge(kAutomatonStepInstr);
             if (dense_automata[u].step(c, pos)) ++owned[u].count;
           }
+          continue;
+        }
+
+        if (trie) {
+          // One probe per position (loop control, deadline peek, bucket-head
+          // lookup — same shape as the flat path), then replay the host trie
+          // engine's op deltas as device charges: each token drain re-reads
+          // and writes back one automaton record in device scratch exactly
+          // like a flat drain, but one drain now advances every episode
+          // sharing the prefix.
+          ctx.charge(kBucketProbeInstr);
+          trie_counter->advance(c, pos);
+          const core::TrieCounter::Ops ops = trie_counter->ops();
+          const auto drains = static_cast<int>(ops.drains - trie_prev.drains);
+          const auto files = static_cast<int>(ops.files - trie_prev.files);
+          const auto accepts = static_cast<int>(ops.accepts - trie_prev.accepts);
+          const auto heap_ops = static_cast<int>(ops.heap_ops - trie_prev.heap_ops);
+          trie_prev = ops;
+          if (drains > 0) {
+            ctx.charge(drains * kTrieDrainInstr);
+            const auto record = static_cast<std::size_t>(owned.front().slot);
+            for (int d = 0; d < drains; ++d) {
+              (void)v.scratch.load(ctx, record);
+              v.scratch.store(ctx, record, 0);
+            }
+          }
+          if (files > 0) ctx.charge(files * kBucketFileInstr);
+          if (accepts > 0) ctx.charge(accepts * kTrieAcceptInstr);
+          if (heap_ops > 0) ctx.charge(heap_ops * kExpiryHeapInstr);
           continue;
         }
 
@@ -599,6 +663,12 @@ gpusim::KernelTask algo5_kernel(ThreadCtx& ctx, Views v) {
     co_await ctx.syncthreads();
   }
 
+  if (trie && trie_counter.has_value()) {
+    const std::vector<std::int64_t> trie_counts = trie_counter->counts();
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      owned[k].count = static_cast<std::uint32_t>(trie_counts[k]);
+    }
+  }
   for (const BucketOwned& o : owned) {
     ctx.charge(1);
     v.counts.store(ctx, static_cast<std::size_t>(o.slot), o.count);
@@ -655,6 +725,10 @@ void validate_launch_params(const MiningLaunchParams& params, int level) {
   if (params.threads_per_block < 1) {
     gm::raise_precondition("threads_per_block must be >= 1, got " +
                            std::to_string(params.threads_per_block));
+  }
+  if (params.trie_buckets && !is_bucketed(params.algorithm)) {
+    gm::raise_precondition("trie_buckets applies to algo5-block-bucketed only, got " +
+                           to_string(params.algorithm));
   }
   if (is_buffered(params.algorithm) && params.buffer_bytes < 1) {
     gm::raise_precondition(to_string(params.algorithm) +
@@ -740,14 +814,24 @@ core::PackedEpisodes DeviceProblem::stage_episodes(std::span<const core::Episode
 
   // Bucketed: pack in first-symbol order so every block's contiguous slot
   // range covers a contiguous symbol range — the block's waiting buckets at
-  // scan start and after every expiry reset.  `order` records sorted slot ->
-  // caller index so extract_counts can hand results back unpermuted.
+  // scan start and after every expiry reset.  Trie mode sorts by the FULL
+  // episode (lexicographic), which refines first-symbol order so the block
+  // property still holds and, additionally, every shared-prefix trie subtree
+  // becomes a contiguous slot range inside each thread's contiguous slice.
+  // `order` records sorted slot -> caller index so extract_counts can hand
+  // results back unpermuted.
   order.resize(episodes.size());
   std::iota(order.begin(), order.end(), std::int64_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
-    return episodes[static_cast<std::size_t>(a)].at(0) <
-           episodes[static_cast<std::size_t>(b)].at(0);
-  });
+  if (params.trie_buckets) {
+    std::stable_sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+      return episodes[static_cast<std::size_t>(a)] < episodes[static_cast<std::size_t>(b)];
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+      return episodes[static_cast<std::size_t>(a)].at(0) <
+             episodes[static_cast<std::size_t>(b)].at(0);
+    });
+  }
 
   core::PackedEpisodes packed;
   packed.level = level;
@@ -805,6 +889,7 @@ gpusim::KernelFn DeviceProblem::kernel() {
   v.semantics = params_.semantics;
   v.expiry = params_.expiry;
   v.buffer_bytes = params_.buffer_bytes;
+  v.trie_buckets = params_.trie_buckets;
 
   switch (params_.algorithm) {
     case Algorithm::kThreadTexture:

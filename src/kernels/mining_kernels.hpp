@@ -75,6 +75,16 @@ struct MiningLaunchParams {
   core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
   core::ExpiryPolicy expiry = {};
   int buffer_bytes = kDefaultBufferBytes;  ///< buffered algorithms only
+  /// Algorithm 5 only: bucket shared-prefix trie tokens instead of
+  /// per-episode automata.  Staging sorts the candidates into full
+  /// lexicographic order (so every trie subtree is a contiguous slot range),
+  /// each thread owns a *contiguous* slot range instead of an interleaved
+  /// slice, and one waiting token advances every owned episode sharing that
+  /// prefix — per-symbol drain work scales with |distinct prefixes| instead
+  /// of |episodes| (core/episode_trie.hpp).  Contiguous-restart semantics
+  /// keep the dense per-thread fallback, charged identically to the flat
+  /// formulation.
+  bool trie_buckets = false;
 };
 
 /// Validate a launch configuration against an episode level *before* any

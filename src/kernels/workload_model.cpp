@@ -415,6 +415,12 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
   const double drain_rate =
       s.symbol_freq.empty() ? 1.0 / A : bucket_drain_rate(s.symbol_freq, L);
   const bool dense = s.params.semantics == gm::core::Semantics::kContiguousRestart;
+  // Trie-bucketed: token drains replace per-automaton drains, scaled by the
+  // measured distinct-prefix mass; the dense contiguous-restart fallback
+  // charges identically to the flat formulation (the kernel runs the same
+  // per-automaton loop), so the flag is ignored there.
+  const bool trie = s.params.trie_buckets && !dense;
+  const double eps = s.prefix_compression;
   const bool expiry = s.params.expiry.enabled();
   // The kernel clamps deadlines the same way (windows beyond the stream are
   // indistinguishable from |DB|).
@@ -468,6 +474,27 @@ BlockProfile algo5_block(const gpusim::DeviceSpec& dev, const WorkloadSpec& s, i
           lt.shared += N;
           if (dense) {
             lt.instr += N * (p.buffered_scan_instr + 1 + owned * p.automaton_step_instr);
+          } else if (trie) {
+            // Expectation, not exact: drain events shrink by the
+            // distinct-prefix mass eps (one token per shared prefix), while
+            // accept events stay per-episode — every occurrence of every
+            // candidate still completes individually at rate q / L.  Each
+            // token drain re-reads/writes one automaton record (2 global
+            // ops, 8 bytes) like a flat drain.
+            const double token_drains = owned * N * drain_rate * eps;
+            const double accepts = owned * N * drain_rate / static_cast<double>(L);
+            lt.instr += N * (p.bucket_probe_instr + 1) +
+                        token_drains * (p.trie_drain_instr + p.bucket_file_instr + 2) +
+                        accepts * p.trie_accept_instr;
+            lt.glob += 2 * token_drains;
+            lt.glob_bytes += 8 * token_drains;
+            if (expiry && L > 1) {
+              // The trie engine refreshes a token's deadline at every
+              // surviving arrival (a push per token drain) and pops the
+              // matured share of attempts, which also start per token.
+              const double attempts = owned * N * ex.attempts_per_position * eps;
+              lt.instr += (token_drains + attempts * mature_frac) * p.expiry_heap_instr;
+            }
           } else {
             // Expected drains: every automaton awaits exactly one symbol, so
             // each position hits a given automaton's bucket w.p. 1/alphabet
@@ -578,6 +605,9 @@ gpusim::KernelProfile model_profile(const gpusim::DeviceSpec& device, const Work
     gm::expects(spec.symbol_freq.empty() ||
                     spec.symbol_freq.size() == static_cast<std::size_t>(spec.alphabet_size),
                 "symbol_freq must be empty (uniform) or carry one entry per alphabet symbol");
+    gm::expects(!spec.params.trie_buckets ||
+                    (spec.prefix_compression > 0.0 && spec.prefix_compression <= 1.0),
+                "trie model needs prefix_compression in (0, 1]");
     // Blocks own thread_chunk slices of the episode list: the first
     // `extra` blocks carry one slot more than the rest.
     const std::int64_t base = spec.episode_count / geo.blocks;

@@ -11,6 +11,10 @@
 //                     (expiry degrades it to the episode-parallel curve)
 //   cpu-single-scan   |DB| probes + |DB| * |eps| * drain_rate drains
 //                     (contiguous restart falls back to the dense scan)
+//   cpu-trie-scan     |DB| probes + drains * prefix_compression token drains
+//                     + drains / L accepts (shared-prefix trie engine; same
+//                     dense fallback as cpu-single-scan under contiguous
+//                     restart, so the flat engine wins that tie by label)
 //
 // drain_rate is the same skew-aware bucket-occupancy term the Algorithm-5
 // device model uses (kernels::bucket_drain_rate), so CPU and GPU predictions
@@ -43,6 +47,18 @@ struct CpuCostConstants {
   double scan_drain_ns = 12.0;
   /// Dense contiguous-restart path: one automaton step per (symbol, episode).
   double scan_dense_step_ns = 1.5;
+  /// Trie scan per drained shared-prefix token (child lookup + the interval
+  /// split moving the survivors one trie level deeper).  An order of
+  /// magnitude above scan_drain_ns: the token machinery allocates and splits
+  /// interval sets where the flat engine steps an integer, so on the host
+  /// the compression rarely pays — the shared-prefix win belongs to the
+  /// device formulation (gpusim-algo5-trie), whose per-drain charge is a few
+  /// instructions.  Kept honest so the planner does not manufacture regret.
+  double trie_drain_ns = 150.0;
+  /// Trie scan per completed episode occurrence (count bump + membership
+  /// removal + idle-interval return).  Accepts are per episode — prefix
+  /// sharing cannot compress them.
+  double trie_accept_ns = 25.0;
   /// Expiry bookkeeping per match start (deadline heap push + eventual pop).
   double expiry_heap_ns = 80.0;
   /// Spawn + join cost per worker thread.
@@ -63,5 +79,6 @@ struct CpuCostConstants {
                                             const CpuCostConstants& c = {});
 [[nodiscard]] double predict_cpu_single_scan_ms(const Workload& w,
                                                 const CpuCostConstants& c = {});
+[[nodiscard]] double predict_cpu_trie_ms(const Workload& w, const CpuCostConstants& c = {});
 
 }  // namespace gm::planner

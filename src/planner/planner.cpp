@@ -43,17 +43,28 @@ ScoredCandidate score_cpu(const Workload& w, BackendKind kind, int threads,
                      ? "dense single scan (contiguous restart)"
                      : "bucket-indexed single scan";
       break;
+    case BackendKind::kCpuTrieScan: {
+      c.predicted_ms = predict_cpu_trie_ms(w, constants);
+      char note[64];
+      std::snprintf(note, sizeof(note), "shared-prefix trie scan (prefix mass %.2f)",
+                    w.prefix_compression);
+      c.reason = w.semantics == core::Semantics::kContiguousRestart
+                     ? "dense single scan (contiguous restart)"
+                     : note;
+      break;
+    }
     case BackendKind::kGpuSim: gm::raise_precondition("score_cpu called for gpusim"); break;
   }
   return c;
 }
 
 ScoredCandidate score_gpu(const Workload& w, kernels::Algorithm algorithm, int tpb,
-                          const PlannerOptions& options) {
+                          bool trie_buckets, const PlannerOptions& options) {
   ScoredCandidate c;
   c.config.kind = BackendKind::kGpuSim;
   c.config.algorithm = algorithm;
   c.config.threads_per_block = tpb;
+  c.config.trie_buckets = trie_buckets;
 
   // Capability gates, checked in the order a user could fix them; the
   // catch-all below keeps any further kernel-layer precondition from
@@ -81,11 +92,18 @@ ScoredCandidate score_gpu(const Workload& w, kernels::Algorithm algorithm, int t
   }
   try {
     const gpusim::CostModel model(options.cost_params);
-    c.breakdown = kernels::predict_mining_time(
-        options.device, gpu_workload_spec(w, algorithm, tpb), model, options.kernel_costs);
+    c.breakdown =
+        kernels::predict_mining_time(options.device,
+                                     gpu_workload_spec(w, algorithm, tpb, trie_buckets),
+                                     model, options.kernel_costs);
     c.predicted_ms = c.breakdown.total_ms;
     c.feasible = true;
     c.reason = "bound by " + c.breakdown.bound_by;
+    if (trie_buckets) {
+      char note[48];
+      std::snprintf(note, sizeof(note), "; trie prefix mass %.2f", w.prefix_compression);
+      c.reason += note;
+    }
   } catch (const gm::Error& e) {
     c.reason = e.what();
   }
@@ -108,17 +126,21 @@ double bias_for(const PlannerOptions& options, const CandidateConfig& config) {
 PlannerOptions::PlannerOptions() : device(gpusim::geforce_gtx_280()) {}
 
 kernels::WorkloadSpec gpu_workload_spec(const Workload& w, kernels::Algorithm algorithm,
-                                        int tpb) {
+                                        int tpb, bool trie_buckets) {
   kernels::WorkloadSpec spec;
   spec.db_size = w.db_size;
   spec.episode_count = w.episode_count;
   spec.level = w.level;
   spec.alphabet_size = w.alphabet_size;
-  if (kernels::is_bucketed(algorithm)) spec.symbol_freq = w.symbol_freq;
+  if (kernels::is_bucketed(algorithm)) {
+    spec.symbol_freq = w.symbol_freq;
+    spec.prefix_compression = w.prefix_compression;
+  }
   spec.params.algorithm = algorithm;
   spec.params.threads_per_block = tpb;
   spec.params.semantics = w.semantics;
   spec.params.expiry = w.expiry;
+  spec.params.trie_buckets = trie_buckets;
   return spec;
 }
 
@@ -128,6 +150,7 @@ std::string_view backend_kind_name(BackendKind kind) {
     case BackendKind::kCpuParallel: return "cpu-parallel";
     case BackendKind::kCpuSharded: return "cpu-sharded";
     case BackendKind::kCpuSingleScan: return "cpu-single-scan";
+    case BackendKind::kCpuTrieScan: return "cpu-trie-scan";
     case BackendKind::kGpuSim: return "gpusim";
   }
   gm::raise_precondition("unknown backend kind");
@@ -135,8 +158,8 @@ std::string_view backend_kind_name(BackendKind kind) {
 
 std::string CandidateConfig::label() const {
   if (kind == BackendKind::kGpuSim) {
-    return "gpusim-algo" + std::to_string(kernels::algorithm_number(algorithm)) + "/t" +
-           std::to_string(threads_per_block);
+    return "gpusim-algo" + std::to_string(kernels::algorithm_number(algorithm)) +
+           (trie_buckets ? "-trie" : "") + "/t" + std::to_string(threads_per_block);
   }
   std::string name(backend_kind_name(kind));
   if (kind == BackendKind::kCpuParallel || kind == BackendKind::kCpuSharded) {
@@ -165,13 +188,21 @@ Plan plan_level(const Workload& workload, const PlannerOptions& options) {
                                    options.cpu_constants));
     plan.table.push_back(score_cpu(workload, BackendKind::kCpuSingleScan, 1,
                                    options.cpu_constants));
+    plan.table.push_back(score_cpu(workload, BackendKind::kCpuTrieScan, 1,
+                                   options.cpu_constants));
   }
   if (options.enable_gpu) {
     gm::expects(!options.tpb_sweep.empty(),
                 "planner needs a non-empty threads-per-block sweep");
     for (const kernels::Algorithm algorithm : kernels::all_algorithms()) {
       for (const int tpb : options.tpb_sweep) {
-        plan.table.push_back(score_gpu(workload, algorithm, tpb, options));
+        plan.table.push_back(score_gpu(workload, algorithm, tpb, false, options));
+        // The block-bucketed kernel also runs in shared-prefix trie mode; a
+        // second candidate per tpb lets the sort decide trie vs flat from the
+        // workload's measured prefix mass.
+        if (kernels::is_bucketed(algorithm)) {
+          plan.table.push_back(score_gpu(workload, algorithm, tpb, true, options));
+        }
       }
     }
   }
@@ -236,6 +267,7 @@ std::unique_ptr<core::CountingBackend> make_planned_backend(const CandidateConfi
     kernels::MiningLaunchParams params;
     params.algorithm = config.algorithm;
     params.threads_per_block = config.threads_per_block;
+    params.trie_buckets = config.trie_buckets;
     return std::make_unique<kernels::SimGpuBackend>(options.device, params,
                                                     options.cost_params);
   }
@@ -247,10 +279,13 @@ std::unique_ptr<core::CountingBackend> make_planned_backend(const CandidateConfi
 
 std::string format_plan(const Plan& plan) {
   const Workload& w = plan.workload;
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "%.2f", w.prefix_compression);
   std::string out = "workload: |DB|=" + std::to_string(w.db_size) +
                     " |episodes|=" + std::to_string(w.episode_count) +
                     " level=" + std::to_string(w.level) +
                     " alphabet=" + std::to_string(w.alphabet_size) +
+                    " prefix-mass=" + prefix +
                     " semantics=" + core::to_string(w.semantics) +
                     " expiry=" + std::to_string(w.expiry.window) + "\n";
   char row[256];

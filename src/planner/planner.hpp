@@ -1,8 +1,9 @@
 // The formulation planner: the paper's conclusion — "a MapReduce-based
 // implementation must dynamically adapt the type and level of parallelism" —
 // turned into a subsystem.  Given one level's workload shape and a device,
-// enumerate every counting formulation the repo implements (four CPU
-// backends x five simulated-GPU algorithms x a threads-per-block sweep),
+// enumerate every counting formulation the repo implements (five CPU
+// backends x five simulated-GPU algorithms x a threads-per-block sweep,
+// plus a shared-prefix trie variant of the block-bucketed kernel),
 // score each analytically (kernels::predict_mining_time for the device,
 // planner/cpu_cost_model for the host), and return a Plan: the winner, the
 // full scored decision table, and the reason every loser lost.
@@ -37,6 +38,7 @@ enum class BackendKind {
   kCpuParallel,
   kCpuSharded,
   kCpuSingleScan,
+  kCpuTrieScan,
   kGpuSim,
 };
 
@@ -53,8 +55,12 @@ struct CandidateConfig {
   /// gpusim only.
   kernels::Algorithm algorithm = kernels::Algorithm::kThreadTexture;
   int threads_per_block = 0;
+  /// gpusim + algo5 only: bucket shared-prefix trie tokens instead of flat
+  /// per-episode automata (MiningLaunchParams::trie_buckets).
+  bool trie_buckets = false;
 
-  /// Stable display / cache key, e.g. "cpu-sharded-x8" or "gpusim-algo5/t128".
+  /// Stable display / cache key, e.g. "cpu-sharded-x8", "gpusim-algo5/t128",
+  /// or "gpusim-algo5-trie/t128".
   [[nodiscard]] std::string label() const;
 };
 
@@ -129,8 +135,11 @@ struct PlannerOptions {
 
 /// The kernel-model spec a gpusim candidate is scored with (shared with the
 /// calibration fitter, which re-predicts candidates under trial profiles).
+/// `trie_buckets` carries the workload's measured prefix_compression into the
+/// spec alongside the launch flag (Algorithm 5 only).
 [[nodiscard]] kernels::WorkloadSpec gpu_workload_spec(const Workload& workload,
-                                                      kernels::Algorithm algorithm, int tpb);
+                                                      kernels::Algorithm algorithm, int tpb,
+                                                      bool trie_buckets = false);
 
 /// Render a plan as the human-readable decision table planner_explain prints.
 [[nodiscard]] std::string format_plan(const Plan& plan);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/episode_trie.hpp"
 #include "kernels/workload_model.hpp"
 
 namespace gm::planner {
@@ -18,6 +19,7 @@ Workload workload_of(const core::CountRequest& request, int alphabet_size_hint) 
       *std::max_element(request.database.begin(), request.database.end());
   w.alphabet_size = std::max(static_cast<int>(max_symbol) + 1, alphabet_size_hint);
   w.symbol_freq = kernels::measured_symbol_freq(request.database, w.alphabet_size);
+  w.prefix_compression = core::prefix_compression(request.episodes);
   w.semantics = request.semantics;
   w.expiry = request.expiry;
   return w;

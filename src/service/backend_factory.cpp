@@ -12,7 +12,8 @@
 namespace gm::service {
 
 std::vector<std::string_view> backend_names() {
-  return {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "gpusim", "auto"};
+  return {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "cpu-trie-scan",
+          "gpusim", "auto"};
 }
 
 planner::PlannerOptions planner_options_for(const BackendSpec& spec) {

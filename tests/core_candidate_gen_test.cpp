@@ -97,6 +97,28 @@ TEST(GenerateCandidates, EmptyInputYieldsEmpty) {
   EXPECT_TRUE(generate_candidates({}).empty());
 }
 
+TEST(GenerateCandidates, EmitsLexicographicPrefixSortedOrder) {
+  // The shared-prefix trie builds in one linear pass only over sorted
+  // candidates, so the join guarantees the order — even when the frequent
+  // set arrives scrambled.
+  const std::vector<Episode> scrambled = {
+      Episode::from_text(kAbc, "CA"), Episode::from_text(kAbc, "AB"),
+      Episode::from_text(kAbc, "BC"), Episode::from_text(kAbc, "AC")};
+  for (const bool prune : {false, true}) {
+    const auto candidates = generate_candidates(scrambled, prune);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end())) << "prune=" << prune;
+  }
+
+  const std::vector<Episode> level1 = {Episode::from_text(kAbc, "C"),
+                                       Episode::from_text(kAbc, "A"),
+                                       Episode::from_text(kAbc, "B")};
+  const auto pairs = generate_candidates(level1, /*prune=*/false);
+  ASSERT_EQ(pairs.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+  EXPECT_EQ(pairs.front(), Episode::from_text(kAbc, "AA"));
+  EXPECT_EQ(pairs.back(), Episode::from_text(kAbc, "CC"));
+}
+
 TEST(EliminateInfrequent, ThresholdIsStrict) {
   const std::vector<Episode> eps = {Episode::from_text(kAbc, "A"),
                                     Episode::from_text(kAbc, "B")};

@@ -66,10 +66,11 @@ struct EquivCase {
   Semantics semantics;
   int window;  // 0 = no expiry
   int threads_per_block;
+  bool trie_buckets = false;  // shared-prefix token buckets (trie mode)
 
   friend std::ostream& operator<<(std::ostream& os, const EquivCase& c) {
     return os << core::to_string(c.semantics) << "/W" << c.window << "/t"
-              << c.threads_per_block;
+              << c.threads_per_block << (c.trie_buckets ? "/trie" : "/flat");
   }
 };
 
@@ -95,6 +96,7 @@ TEST_P(BucketedEquivalence, MatchesSerialOracleBitExact) {
     params.threads_per_block = c.threads_per_block;
     params.semantics = c.semantics;
     params.expiry = expiry;
+    params.trie_buckets = c.trie_buckets;
     params.buffer_bytes = 192;  // several staging iterations at these sizes
 
     const MiningRun run = run_mining_kernel(engine, db, episodes, params);
@@ -114,7 +116,8 @@ std::vector<EquivCase> equivalence_cases() {
        {Semantics::kNonOverlappedSubsequence, Semantics::kContiguousRestart}) {
     for (const int window : {0, 3, 17, 64}) {
       for (const int tpb : {16, 33, 128}) {
-        cases.push_back({s, window, tpb});
+        cases.push_back({s, window, tpb, /*trie_buckets=*/false});
+        cases.push_back({s, window, tpb, /*trie_buckets=*/true});
       }
     }
   }
@@ -299,6 +302,98 @@ TEST(BucketedStaging, CountsReturnInCallerOrderDespiteFirstSymbolSort) {
   params.buffer_bytes = 64;
   const MiningRun run = run_mining_kernel(small_engine(), db, episodes, params);
   EXPECT_EQ(run.counts, (std::vector<std::int64_t>{2, 4, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Trie mode: lexicographic staging, count unpermutation, work reduction.
+// ---------------------------------------------------------------------------
+
+TEST(TrieBuckets, CountsReturnInCallerOrderDespiteLexicographicSort) {
+  // Level-2 episodes handed over scrambled (descending lex order), with
+  // distinct planted counts tied to the first symbol's run length.
+  const Alphabet alphabet(4);
+  Sequence db;
+  for (int k = 0; k < 6; ++k) {
+    db.push_back(Symbol{0});
+    db.push_back(Symbol{3});
+  }
+  for (int k = 0; k < 4; ++k) {
+    db.push_back(Symbol{1});
+    db.push_back(Symbol{3});
+  }
+  for (int k = 0; k < 2; ++k) {
+    db.push_back(Symbol{2});
+    db.push_back(Symbol{3});
+  }
+  const std::vector<Episode> episodes = {Episode(std::vector<Symbol>{2, 3}),
+                                         Episode(std::vector<Symbol>{1, 3}),
+                                         Episode(std::vector<Symbol>{0, 3})};
+
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kBlockBucketed;
+  params.threads_per_block = 16;
+  params.trie_buckets = true;
+  params.buffer_bytes = 64;
+  const MiningRun run = run_mining_kernel(small_engine(), db, episodes, params);
+  EXPECT_EQ(run.counts, (std::vector<std::int64_t>{2, 4, 6}));
+}
+
+TEST(TrieBuckets, SharedPrefixSetDrainsFewerInstructionsThanFlat) {
+  // A candidate set with massive prefix sharing (apriori level-6 joins: four
+  // hot length-4 prefixes, each extended by every (y, z) pair): the trie
+  // formulation must agree with the oracle bit-for-bit AND charge measurably
+  // fewer lane instructions than the flat formulation, since one token drain
+  // advances every prefix-sharer and each thread's 8 contiguous slots all
+  // ride the same length-4 prefix chain.
+  const Alphabet alphabet(4);
+  gm::Rng rng(0x5EEDF00D);
+  const Sequence db = data::uniform_database(alphabet, 4000, rng());
+  std::vector<Episode> episodes;
+  const std::vector<std::vector<Symbol>> prefixes = {
+      {0, 1, 2, 3}, {1, 2, 3, 0}, {2, 3, 0, 1}, {3, 0, 1, 2}};
+  for (const auto& prefix : prefixes) {
+    for (int y = 0; y < 4; ++y) {
+      for (int z = 0; z < 4; ++z) {
+        std::vector<Symbol> symbols = prefix;
+        symbols.push_back(static_cast<Symbol>(y));
+        symbols.push_back(static_cast<Symbol>(z));
+        episodes.emplace_back(std::move(symbols));
+      }
+    }
+  }
+
+  const gpusim::Engine engine = small_engine();
+  const auto expected =
+      core::count_all(episodes, db, Semantics::kNonOverlappedSubsequence);
+
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kBlockBucketed;
+  params.threads_per_block = 8;  // one block, each thread owns one prefix run
+  params.buffer_bytes = 512;
+
+  params.trie_buckets = false;
+  const MiningRun flat = run_mining_kernel(engine, db, episodes, params);
+  params.trie_buckets = true;
+  const MiningRun trie = run_mining_kernel(engine, db, episodes, params);
+
+  EXPECT_EQ(flat.counts, expected);
+  EXPECT_EQ(trie.counts, expected);
+  EXPECT_LT(trie.launch.totals.lane_instructions,
+            0.75 * flat.launch.totals.lane_instructions)
+      << "trie " << trie.launch.totals.lane_instructions << " vs flat "
+      << flat.launch.totals.lane_instructions;
+}
+
+TEST(TrieBuckets, RejectedOutsideAlgorithmFive) {
+  MiningLaunchParams params;
+  params.algorithm = Algorithm::kThreadBuffered;
+  params.trie_buckets = true;
+  try {
+    validate_launch_params(params, 2);
+    FAIL() << "expected PreconditionError";
+  } catch (const gm::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("trie_buckets"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

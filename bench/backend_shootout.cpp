@@ -15,9 +15,10 @@
 //                    [--threads T] [--expiry W] [--semantics subseq|contig]
 //                    [--repeat R] [--seed S] [--zipf S] [--prefix-pool P]
 //                    [--gpu] [--card 8800|gx2|gtx280] [--tpb N]
-//                    [--validate-planner] [--tpb-sweep A,B,...]
+//                    [--validate-planner] [--tpb-sweep A,B,...] [--devices N]
 //                    [--max-regret R] [--json PATH]
 //                    [--calibration PROFILE.json] [--fit-calibration OUT.json]
+//                    [--shard-sweep 1..8] [--min-efficiency E]
 //
 // --prefix-pool P draws every candidate's first level-1 symbols from a pool
 // of P random prefixes instead of fully at random, mimicking the shared
@@ -45,6 +46,16 @@
 // BENCH artifact (the CI bench job uploads it).  --zipf S draws the database
 // from a Zipf(S) symbol distribution instead of uniform, exercising the
 // skew-aware occupancy terms end to end.
+//
+// --shard-sweep A..B (or a comma list) switches to the distrib scaling mode:
+// for each device count N it runs the work-stealing shard engine twice —
+// host workers (wall-clock) and simulated cards (deterministic kernel-time)
+// — cross-checks both against the serial reference, and reports per-count
+// throughput, scaling efficiency base_ms / (N * ms_N), and the scheduler's
+// steal counters.  --json writes the table as a BENCH artifact
+// (BENCH_scaling.json in CI); --min-efficiency E gates on the *simulated*
+// efficiency at 4 cards (kernel time is deterministic, so the gate holds on
+// a 2-core CI runner where wall-clock efficiency cannot).
 //
 // Calibration: --fit-calibration OUT.json (implies --validate-planner) fits
 // a CalibrationProfile — the planner's cost constants — from this run's
@@ -74,9 +85,11 @@
 #include "core/cpu_backend.hpp"
 #include "core/serial_counter.hpp"
 #include "data/generators.hpp"
+#include "distrib/distrib_backend.hpp"
 #include "kernels/mining_kernels.hpp"
 #include "planner/planner.hpp"
 #include "planner/workload.hpp"
+#include "service/backend_factory.hpp"
 
 namespace {
 
@@ -100,6 +113,9 @@ struct Options {
   std::string json_path;           ///< planner validation artifact; empty = none
   std::string calibration_path;    ///< fitted profile to load; empty = shipped
   std::string fit_path;            ///< profile to fit and write; empty = no fit
+  std::vector<int> shard_sweep;    ///< distrib scaling mode; empty = off
+  double min_efficiency = 0.0;     ///< scaling gate at 4 cards; 0 = report only
+  int devices = 0;                 ///< planner validation: device_sweep 1..N; 0 = off
   gm::core::Semantics semantics = gm::core::Semantics::kNonOverlappedSubsequence;
 };
 
@@ -162,6 +178,9 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
   popt.enable_gpu = opt.gpu;
   if (!opt.tpb_sweep.empty()) popt.tpb_sweep = opt.tpb_sweep;
   else if (opt.gpu) popt.tpb_sweep = {opt.tpb};
+  // --devices N opens the planner's device-count axis: distrib candidates
+  // at every count in 1..N enter the scored (and measured) table.
+  for (int n = 1; n <= opt.devices; ++n) popt.device_sweep.push_back(n);
 
   // Applying the default (shipped) profile is a bit-identical no-op, so the
   // load-and-apply path is exercised on every validation run.
@@ -243,8 +262,14 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
       const planner::ScoredCandidate& candidate = plan.table[i];
       if (!candidate.feasible) continue;
       const auto backend = planner::make_planned_backend(candidate.config, popt);
-      const bool is_gpu = candidate.config.kind == planner::BackendKind::kGpuSim;
-      // The functional engine is deterministic (and slow): one repetition.
+      // Device-time candidates are measured by simulated kernel time: the
+      // single-card formulations through the functional engine, the distrib
+      // card flavor through its per-chunk device model.
+      const bool is_gpu =
+          candidate.config.kind == planner::BackendKind::kGpuSim ||
+          (candidate.config.kind == planner::BackendKind::kDistrib &&
+           candidate.config.distrib_gpu);
+      // The simulated kernel time is deterministic: one repetition.
       const int reps = is_gpu ? 1 : opt.repeat;
       gm::core::CountResult result;
       double best_ms = 0.0;
@@ -391,6 +416,160 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
   return 0;
 }
 
+/// Distrib scaling mode: run the work-stealing shard engine at every swept
+/// device count, twice per count (host workers by wall-clock, simulated
+/// cards by deterministic kernel time), and report throughput + scaling
+/// efficiency + steal counters.  The --min-efficiency gate reads the
+/// simulated efficiency at 4 cards: kernel time is a pure model output, so
+/// the gate holds on CI runners with fewer host cores than shards.
+int run_shard_sweep(const Options& opt, const gm::core::Alphabet& alphabet,
+                    const gm::core::Sequence& db, gm::Rng& rng) {
+  namespace distrib = gm::distrib;
+
+  const auto episodes =
+      random_episodes(alphabet, opt.episodes, opt.level, opt.prefix_pool, rng);
+  gm::core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  request.semantics = opt.semantics;
+  request.expiry = gm::core::ExpiryPolicy{opt.expiry};
+  const std::vector<std::int64_t> reference = gm::core::count_all(
+      request.episodes, request.database, request.semantics, request.expiry);
+
+  std::printf("shard sweep: db=%lld alphabet=%d episodes=%zu level=%d expiry=%lld "
+              "card=%s repeat=%d\n\n",
+              static_cast<long long>(opt.db_size), opt.alphabet, episodes.size(),
+              opt.level, static_cast<long long>(opt.expiry), opt.card.c_str(),
+              opt.repeat);
+  std::printf("%7s %12s %12s %10s %10s %8s %8s %10s\n", "shards", "host ms", "sim ms",
+              "host eff", "sim eff", "steals", "chunks", "rescanned");
+
+  gm::bench::JsonWriter json;
+  json.begin_object();
+  json.field("driver", "backend_shootout --shard-sweep");
+  json.key("workload").begin_object();
+  json.field("db_size", opt.db_size)
+      .field("alphabet", opt.alphabet)
+      .field("episodes", static_cast<std::int64_t>(episodes.size()))
+      .field("level", opt.level)
+      .field("expiry", opt.expiry)
+      .field("semantics", to_string(opt.semantics))
+      .field("zipf", opt.zipf)
+      .field("card", opt.card)
+      .field("seed", static_cast<std::int64_t>(opt.seed));
+  json.end_object();
+  json.field("min_efficiency_gate", opt.min_efficiency);
+  json.key("sweep").begin_array();
+
+  // Episode-symbol steps per run: the throughput numerator both flavors share.
+  const double steps =
+      static_cast<double>(opt.db_size) * static_cast<double>(episodes.size());
+
+  bool all_agree = true;
+  double host_base_ms = 0.0;  // 1-shard times anchor the efficiency ratios
+  double sim_base_ms = 0.0;
+  double gate_efficiency = -1.0;
+  int gate_shards = 0;
+
+  for (const int shards : opt.shard_sweep) {
+    double host_ms = 0.0;
+    double sim_ms = 0.0;
+    std::int64_t steals = 0;
+    std::int64_t rescanned = 0;
+    int chunks = 0;
+
+    for (const bool gpu : {false, true}) {
+      distrib::DistribOptions options;
+      options.shards = shards;
+      options.worker =
+          gpu ? distrib::WorkerKind::kGpuSim : distrib::WorkerKind::kSingleScan;
+      options.device = gpusim::device_by_name(opt.card);
+      options.launch.threads_per_block = opt.tpb;
+      distrib::DistribBackend backend(options);
+      // The simulated kernel time is deterministic: one repetition suffices.
+      const int reps = gpu ? 1 : opt.repeat;
+      gm::core::CountResult result;
+      double best_ms = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        result = backend.count(request);
+        const double ms = gpu ? result.simulated_kernel_ms : result.host_ms;
+        best_ms = (r == 0) ? ms : std::min(best_ms, ms);
+      }
+      if (result.counts != reference) {
+        std::printf("%7d %s DISAGREES with the reference counts\n", shards,
+                    backend.name().c_str());
+        all_agree = false;
+      }
+      if (gpu) {
+        sim_ms = best_ms;
+      } else {
+        host_ms = best_ms;
+        steals = backend.last_run().steal.steals;
+        rescanned = backend.last_run().rescanned_symbols;
+        chunks = backend.last_run().chunks;
+      }
+    }
+
+    if (shards == 1) {
+      host_base_ms = host_ms;
+      sim_base_ms = sim_ms;
+    }
+    const double host_eff =
+        host_base_ms > 0.0 ? host_base_ms / (shards * host_ms) : 0.0;
+    const double sim_eff = sim_base_ms > 0.0 ? sim_base_ms / (shards * sim_ms) : 0.0;
+    // The gate anchors at 4 cards (the ISSUE's reference point); if the
+    // sweep stops short, the largest swept count stands in.
+    if (shards == 4 || (gate_shards != 4 && shards > gate_shards)) {
+      gate_shards = shards;
+      gate_efficiency = sim_eff;
+    }
+
+    json.begin_object();
+    json.field("shards", shards);
+    json.field("host_ms", host_ms);
+    json.field("host_msteps_per_s", host_ms > 0.0 ? steps / host_ms / 1e3 : 0.0);
+    json.field("host_efficiency", host_eff);
+    json.field("simulated_kernel_ms", sim_ms);
+    json.field("simulated_msteps_per_s", sim_ms > 0.0 ? steps / sim_ms / 1e3 : 0.0);
+    json.field("simulated_efficiency", sim_eff);
+    json.field("steals", steals);
+    json.field("chunks", chunks);
+    json.field("rescanned_symbols", rescanned);
+    json.end_object();
+
+    std::printf("%7d %12.3f %12.3f %9.2f%% %9.2f%% %8lld %8d %10lld\n", shards, host_ms,
+                sim_ms, 100.0 * host_eff, 100.0 * sim_eff,
+                static_cast<long long>(steals), chunks,
+                static_cast<long long>(rescanned));
+  }
+
+  json.end_array();
+  json.field("gate_shards", gate_shards);
+  json.field("gate_efficiency", gate_efficiency);
+  json.field("agree", all_agree);
+  json.end_object();
+  if (!opt.json_path.empty()) {
+    json.write_file(opt.json_path);
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+
+  std::printf("\nsimulated efficiency at %d cards: %.2f%% (gate %s)\n", gate_shards,
+              100.0 * gate_efficiency,
+              opt.min_efficiency > 0.0 ? std::to_string(opt.min_efficiency).c_str()
+                                       : "off");
+  if (!all_agree) {
+    std::cerr << "ERROR: a distrib run disagreed with the reference counts\n";
+    return 1;
+  }
+  if (opt.min_efficiency > 0.0 && gate_efficiency < opt.min_efficiency) {
+    std::cerr << "ERROR: simulated scaling efficiency " << gate_efficiency << " at "
+              << gate_shards << " cards is below the --min-efficiency "
+              << opt.min_efficiency << " gate\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -434,6 +613,27 @@ int main(int argc, char** argv) {
           pos = comma + 1;
         }
       }
+      else if (arg == "--shard-sweep") {
+        // "1..8" sweeps the whole range; "1,2,4,8" names the counts.
+        const std::string list = next();
+        const std::size_t dots = list.find("..");
+        if (dots != std::string::npos) {
+          const int lo = gm::bench::parse_int(arg, list.substr(0, dots), 1, 1 << 10);
+          const int hi =
+              gm::bench::parse_int(arg, list.substr(dots + 2), lo, 1 << 10);
+          for (int n = lo; n <= hi; ++n) opt.shard_sweep.push_back(n);
+        } else {
+          for (std::size_t pos = 0; pos <= list.size();) {
+            const std::size_t comma = std::min(list.find(',', pos), list.size());
+            opt.shard_sweep.push_back(
+                gm::bench::parse_int(arg, list.substr(pos, comma - pos), 1, 1 << 10));
+            pos = comma + 1;
+          }
+        }
+      }
+      else if (arg == "--min-efficiency")
+        opt.min_efficiency = gm::bench::parse_double(arg, next(), 0.0, 1.0);
+      else if (arg == "--devices") opt.devices = gm::bench::parse_int(arg, next(), 1, 1 << 10);
       else if (arg == "--max-regret")
         opt.max_regret = gm::bench::parse_double(arg, next(), 1.0, 1000.0);
       else if (arg == "--json") opt.json_path = next();
@@ -461,11 +661,23 @@ int main(int argc, char** argv) {
   }
   // Fitting runs the same plan-and-measure loop validation does.
   if (!opt.fit_path.empty()) opt.validate_planner = true;
+  if (opt.validate_planner && !opt.shard_sweep.empty()) {
+    std::cerr << "--validate-planner and --shard-sweep are separate modes\n";
+    return 2;
+  }
   if (!opt.validate_planner &&
-      (opt.max_regret > 0 || !opt.json_path.empty() || !opt.tpb_sweep.empty() ||
-       !opt.calibration_path.empty())) {
-    std::cerr << "--max-regret/--json/--tpb-sweep/--calibration only apply with "
+      (opt.max_regret > 0 || !opt.tpb_sweep.empty() || !opt.calibration_path.empty() ||
+       opt.devices > 0)) {
+    std::cerr << "--max-regret/--tpb-sweep/--calibration/--devices only apply with "
                  "--validate-planner\n";
+    return 2;
+  }
+  if (!opt.json_path.empty() && !opt.validate_planner && opt.shard_sweep.empty()) {
+    std::cerr << "--json only applies with --validate-planner or --shard-sweep\n";
+    return 2;
+  }
+  if (opt.min_efficiency > 0 && opt.shard_sweep.empty()) {
+    std::cerr << "--min-efficiency only applies with --shard-sweep\n";
     return 2;
   }
 
@@ -477,6 +689,12 @@ int main(int argc, char** argv) {
 
   if (opt.validate_planner) try {
     return run_planner_validation(opt, alphabet, db, rng);
+  } catch (const gm::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (!opt.shard_sweep.empty()) try {
+    return run_shard_sweep(opt, alphabet, db, rng);
   } catch (const gm::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -505,10 +723,10 @@ int main(int argc, char** argv) {
   std::printf("%-20s %12s %10s %10s\n", "backend", "best ms", "vs serial", "agrees");
   for (const auto name :
        {"cpu-serial", "cpu-parallel", "cpu-sharded", "cpu-single-scan", "cpu-trie-scan"}) {
-    gm::bench::BackendSpec spec;
+    gm::service::BackendSpec spec;
     spec.name = name;
     spec.threads = opt.threads;
-    const auto backend = gm::bench::make_backend(spec);
+    const auto backend = gm::service::make_backend(spec);
 
     double best_ms = 0.0;
     gm::core::CountResult result;
@@ -544,12 +762,12 @@ int main(int argc, char** argv) {
         std::printf("%-20s %12s  (skipped: --tpb exceeds --db)\n", label.c_str(), "-");
         continue;
       }
-      gm::bench::BackendSpec spec;
+      gm::service::BackendSpec spec;
       spec.name = "gpusim";
       spec.card = opt.card;
       spec.launch.algorithm = algorithm;
       spec.launch.threads_per_block = opt.tpb;
-      const auto backend = gm::bench::make_backend(spec);
+      const auto backend = gm::service::make_backend(spec);
 
       double best_ms = 0.0;
       gm::core::CountResult result;

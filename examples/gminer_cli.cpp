@@ -3,10 +3,14 @@
 //
 //   gminer_cli [options] [dataset.txt]
 //     --backend <name>             counting backend       (default gpusim;
-//                                  names from bench::backend_names();
+//                                  names from service::backend_names();
 //                                  "auto" re-plans the formulation at every
 //                                  mining level from the analytic cost models)
 //     --threads <n>                CPU backend threads, 0 = hw (default 0)
+//     --shards <n>                 distrib backends: shard/device count
+//                                  (0 = hw threads, or 2 cards for
+//                                  distrib-gpu); with "auto": score distrib
+//                                  candidates at 1..n devices (default 0)
 //     --card <8800|gx2|gtx280>     simulated card         (default gtx280)
 //     --algo <1|2|3|4|5>           GPU algorithm          (default 3;
 //                                  5 = block-bucketed single-scan)
@@ -45,7 +49,7 @@ namespace {
 
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
-      << " [--backend <name>] [--threads N] [--card 8800|gx2|gtx280]\n"
+      << " [--backend <name>] [--threads N] [--shards N] [--card 8800|gx2|gtx280]\n"
          "       [--algo 1..5] [--tpb N] [--support A] [--max-level L] [--expiry W]\n"
          "       [--semantics subseq|contig] [--cpu] [--demo] [--explain]\n"
          "       [--calibration profile.json] [dataset.txt]\n"
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
 
   std::string backend_name = "gpusim";
   int threads = 0;
+  int shards = 0;
   std::string card = "gtx280";
   int algo = 3;
   int tpb = 64;
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
       };
       if (arg == "--backend") backend_name = next();
       else if (arg == "--threads") threads = bench::parse_int(arg, next(), 0, 1 << 20);
+      else if (arg == "--shards") shards = bench::parse_int(arg, next(), 0, 1 << 10);
       else if (arg == "--card") card = next();
       else if (arg == "--algo") algo = bench::parse_int(arg, next(), 1, 5);
       else if (arg == "--tpb") tpb = bench::parse_int(arg, next(), 1, 1 << 16);
@@ -151,6 +157,7 @@ int main(int argc, char** argv) {
     service::BackendSpec spec;
     spec.name = backend_name;
     spec.threads = threads;
+    spec.shards = shards;
     spec.card = card;
     spec.launch.algorithm = static_cast<kernels::Algorithm>(algo);
     spec.launch.threads_per_block = tpb;

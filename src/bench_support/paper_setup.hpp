@@ -1,36 +1,17 @@
 // Shared configuration of the paper-reproduction benches: the evaluation
-// workload (393,019 letters, episode levels 1-3), one-call helpers that
-// predict a mining kernel's time on a card via the analytic workload model,
-// and deprecated aliases of the backend factory (now
-// service/backend_factory.hpp) for old bench call sites.
+// workload (393,019 letters, episode levels 1-3) and one-call helpers that
+// predict a mining kernel's time on a card via the analytic workload model.
+// Backend construction lives in service/backend_factory.hpp (gm::service).
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <string>
-#include <string_view>
-#include <vector>
 
-#include "core/counting.hpp"
 #include "kernels/mining_kernels.hpp"
 #include "kernels/workload_model.hpp"
-#include "service/backend_factory.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/device_spec.hpp"
 
 namespace gm::bench {
-
-/// Deprecated aliases: the backend factory moved to
-/// service/backend_factory.hpp (gm::service) so clients pick backends
-/// without linking the benchmark harness.  These keep old bench call sites
-/// compiling; new code should use gm::service directly.
-using BackendSpec = service::BackendSpec;
-
-inline std::unique_ptr<core::CountingBackend> make_backend(const BackendSpec& spec) {
-  return service::make_backend(spec);
-}
-
-inline std::vector<std::string_view> backend_names() { return service::backend_names(); }
 
 /// Episode counts of the paper's levels over the 26-letter alphabet.
 [[nodiscard]] std::int64_t paper_episode_count(int level);

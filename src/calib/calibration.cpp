@@ -58,6 +58,12 @@ const std::vector<ParamRef>& calibration_params() {
        [](CalibrationProfile& p) -> double& { return p.cpu.thread_spawn_us; }},
       {"cpu.fold_step_ns",
        [](CalibrationProfile& p) -> double& { return p.cpu.fold_step_ns; }},
+      {"cpu.distrib_merge_ns",
+       [](CalibrationProfile& p) -> double& { return p.cpu.distrib_merge_ns; }},
+      {"cpu.distrib_rescan_ns",
+       [](CalibrationProfile& p) -> double& { return p.cpu.distrib_rescan_ns; }},
+      {"cpu.distrib_steal_ns",
+       [](CalibrationProfile& p) -> double& { return p.cpu.distrib_steal_ns; }},
   };
   return kParams;
 }

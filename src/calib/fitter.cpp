@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/cpu_backend.hpp"
+#include "distrib/scale_model.hpp"
 #include "kernels/workload_model.hpp"
 
 namespace gm::calib {
@@ -71,6 +72,18 @@ double predict_sample_ms(const CalibrationProfile& profile, const FitSample& sam
     case BackendKind::kCpuSingleScan:
       return planner::predict_cpu_single_scan_ms(w, profile.cpu);
     case BackendKind::kCpuTrieScan: return planner::predict_cpu_trie_ms(w, profile.cpu);
+    case BackendKind::kDistrib: {
+      if (sample.config.distrib_gpu) {
+        const gpusim::CostModel model(sample.cost_params);
+        return distrib::predict_scaled_mining(
+                   sample.device, sample.config.threads,
+                   planner::gpu_workload_spec(w, sample.config.algorithm,
+                                              sample.config.threads_per_block),
+                   distrib::ShardAxis::kDatabase, model, profile.kernel)
+            .total_ms;
+      }
+      return planner::predict_cpu_distrib_ms(w, sample.config.threads, profile.cpu);
+    }
     case BackendKind::kGpuSim: {
       const gpusim::CostModel model(sample.cost_params);
       return kernels::predict_mining_time(

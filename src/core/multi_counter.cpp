@@ -40,7 +40,7 @@ struct Deadline {
 // database read, unlike the per-episode rescans of count_all.
 std::vector<std::int64_t> count_dense(std::span<const Episode> episodes,
                                       std::span<const Symbol> database, Semantics semantics,
-                                      ExpiryPolicy expiry) {
+                                      ExpiryPolicy expiry, std::vector<ScanExit>* exits) {
   std::vector<EpisodeAutomaton> automata;
   automata.reserve(episodes.size());
   for (const auto& e : episodes) automata.emplace_back(e.symbols(), semantics, expiry);
@@ -52,21 +52,29 @@ std::vector<std::int64_t> count_dense(std::span<const Episode> episodes,
       if (automata[a].step(s, pos)) ++counts[a];
     }
   }
+  if (exits != nullptr) {
+    exits->assign(episodes.size(), {});
+    for (std::size_t a = 0; a < automata.size(); ++a) {
+      (*exits)[a] = {automata[a].state(), automata[a].first_match_pos()};
+    }
+  }
   return counts;
 }
 
-}  // namespace
-
-std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
-                                                std::span<const Symbol> database,
-                                                Semantics semantics, ExpiryPolicy expiry) {
+std::vector<std::int64_t> count_all_single_scan_impl(std::span<const Episode> episodes,
+                                                     std::span<const Symbol> database,
+                                                     Semantics semantics, ExpiryPolicy expiry,
+                                                     std::vector<ScanExit>* exits) {
   for (const auto& e : episodes) gm::expects(!e.empty(), "cannot count an empty episode");
-  if (episodes.empty()) return {};
+  if (episodes.empty()) {
+    if (exits != nullptr) exits->clear();
+    return {};
+  }
   gm::expects(episodes.size() <= std::numeric_limits<std::uint32_t>::max(),
               "too many episodes for the single-scan index");
 
   if (semantics == Semantics::kContiguousRestart) {
-    return count_dense(episodes, database, semantics, expiry);
+    return count_dense(episodes, database, semantics, expiry, exits);
   }
 
   // Deadlines are computed as first_pos + window, so clamp huge user-supplied
@@ -144,7 +152,28 @@ std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episode
   std::vector<std::int64_t> counts;
   counts.reserve(slots.size());
   for (const Slot& slot : slots) counts.push_back(slot.count);
+  if (exits != nullptr) {
+    exits->assign(slots.size(), {});
+    for (std::size_t a = 0; a < slots.size(); ++a) {
+      (*exits)[a] = {slots[a].state, slots[a].first_pos};
+    }
+  }
   return counts;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
+                                                std::span<const Symbol> database,
+                                                Semantics semantics, ExpiryPolicy expiry) {
+  return count_all_single_scan_impl(episodes, database, semantics, expiry, nullptr);
+}
+
+std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
+                                                std::span<const Symbol> database,
+                                                Semantics semantics, ExpiryPolicy expiry,
+                                                std::vector<ScanExit>& exits) {
+  return count_all_single_scan_impl(episodes, database, semantics, expiry, &exits);
 }
 
 }  // namespace gm::core

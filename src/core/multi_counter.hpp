@@ -38,4 +38,21 @@ namespace gm::core {
     std::span<const Episode> episodes, std::span<const Symbol> database, Semantics semantics,
     ExpiryPolicy expiry = {});
 
+/// Per-episode automaton configuration at scan end, exactly what the serial
+/// automaton would hold after stepping the same span (expiry resets happen at
+/// step time in both engines, so a deadline maturing past the last position
+/// leaves the state intact in both).  Positions are relative to the scanned
+/// span; callers folding chunk scans normalize by the chunk offset.
+struct ScanExit {
+  int state = 0;
+  std::int64_t first_match_pos = 0;
+};
+
+/// Single-scan counting that also reports each episode's exit configuration
+/// (the distrib layer's cold-scan worker).  `exits` is resized to the episode
+/// count.  Counts equal the plain overload exactly.
+[[nodiscard]] std::vector<std::int64_t> count_all_single_scan(
+    std::span<const Episode> episodes, std::span<const Symbol> database, Semantics semantics,
+    ExpiryPolicy expiry, std::vector<ScanExit>& exits);
+
 }  // namespace gm::core

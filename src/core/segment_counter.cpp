@@ -146,6 +146,61 @@ std::int64_t count_overlap_rescan(const Episode& episode, std::span<const Symbol
 
 }  // namespace
 
+std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantics,
+                             ExpiryPolicy expiry, std::span<const Symbol> database,
+                             std::span<const std::int64_t> bounds,
+                             std::span<const SegmentOutcome> cold,
+                             std::int64_t* rescanned_symbols) {
+  gm::expects(bounds.size() >= 2 && bounds.front() == 0 &&
+                  bounds.back() == static_cast<std::int64_t>(database.size()),
+              "boundary list must cover the database");
+  gm::expects(cold.size() + 1 == bounds.size(), "need one cold outcome per chunk");
+
+  std::int64_t total = 0;
+  std::int64_t rescanned = 0;
+  int state = 0;
+  std::int64_t first_pos = 0;
+  for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
+    if (state == 0) {
+      total += cold[c].count;
+      state = cold[c].exit_state;
+      first_pos = cold[c].first_match_pos;
+      continue;
+    }
+    // Lockstep replay: the true automaton (restored) and a cold twin step
+    // together; once they agree the cold scan's remainder is the truth.
+    EpisodeAutomaton truth(episode, semantics, expiry);
+    truth.restore(state, first_pos);
+    EpisodeAutomaton twin(episode, semantics, expiry);
+    std::int64_t true_count = 0;
+    std::int64_t twin_count = 0;
+    bool converged = false;
+    for (std::int64_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      const Symbol s = database[static_cast<std::size_t>(i)];
+      if (truth.step(s, i)) ++true_count;
+      if (twin.step(s, i)) ++twin_count;
+      ++rescanned;
+      if (truth.state() == twin.state() &&
+          (truth.state() == 0 || !expiry.enabled() ||
+           truth.first_match_pos() == twin.first_match_pos())) {
+        converged = true;
+        break;
+      }
+    }
+    if (converged) {
+      total += true_count + (cold[c].count - twin_count);
+      state = cold[c].exit_state;
+      first_pos = cold[c].first_match_pos;
+    } else {
+      total += true_count;
+      state = truth.state();
+      first_pos = truth.first_match_pos();
+    }
+  }
+  if (rescanned_symbols != nullptr) *rescanned_symbols = rescanned;
+  return total;
+}
+
 std::int64_t count_boundary_crossers(std::span<const Symbol> episode, Semantics semantics,
                                      ExpiryPolicy expiry, std::span<const Symbol> database,
                                      std::int64_t bound, std::int64_t next_bound,

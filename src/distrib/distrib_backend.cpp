@@ -1,0 +1,157 @@
+#include "distrib/distrib_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/multi_counter.hpp"
+#include "core/segment_counter.hpp"
+#include "kernels/workload_model.hpp"
+
+namespace gm::distrib {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string to_string(WorkerKind kind) {
+  switch (kind) {
+    case WorkerKind::kSingleScan: return "cpu-single-scan";
+    case WorkerKind::kSerial: return "cpu-serial";
+    case WorkerKind::kGpuSim: return "gpusim";
+  }
+  return "?";
+}
+
+DistribOptions::DistribOptions() : device(gpusim::geforce_gtx_280()) {}
+
+DistribBackend::DistribBackend(DistribOptions options) : options_(std::move(options)) {
+  gm::expects(options_.shards >= 1, "need at least one shard");
+  gm::expects(options_.steal_granularity >= 1, "need at least one chunk per shard");
+}
+
+std::string DistribBackend::name() const {
+  return "distrib-x" + std::to_string(options_.shards) + "[" + to_string(options_.worker) +
+         "]";
+}
+
+int DistribBackend::max_level() const {
+  return options_.worker == WorkerKind::kGpuSim ? kernels::kMaxLevel : 0;
+}
+
+core::CountResult DistribBackend::count(const core::CountRequest& request) {
+  const auto start = Clock::now();
+  core::CountResult result;
+  result.counts.assign(request.episodes.size(), 0);
+  telemetry_ = {};
+
+  // Validate on the calling thread: a worker-thread throw would terminate.
+  int max_level_requested = 0;
+  for (const auto& e : request.episodes) {
+    gm::expects(!e.empty(), "cannot count an empty episode");
+    max_level_requested = std::max(max_level_requested, e.level());
+  }
+  if (options_.worker == WorkerKind::kGpuSim) {
+    gm::expects(max_level_requested <= kernels::kMaxLevel,
+                "gpusim worker caps the level at kernels::kMaxLevel "
+                "(frame-register episode staging)");
+  }
+  if (request.episodes.empty() || request.database.empty()) {
+    result.host_ms = elapsed_ms(start);
+    return result;
+  }
+
+  const ShardPlan plan = make_shard_plan(
+      request.database, request.episodes,
+      {options_.shards, options_.steal_granularity, options_.weighted_plan});
+  const int chunks = plan.chunk_count();
+  telemetry_.chunks = chunks;
+  const std::size_t episode_count = request.episodes.size();
+
+  // Map phase: every chunk scanned cold by whichever worker claims it.  All
+  // writes are chunk-private slots read only after the scheduler joins.
+  std::vector<std::vector<core::SegmentOutcome>> cold(static_cast<std::size_t>(chunks));
+  telemetry_.steal = run_sharded(plan, [&](int /*worker*/, int chunk, std::int64_t begin,
+                                           std::int64_t end) {
+    auto& out = cold[static_cast<std::size_t>(chunk)];
+    out.assign(episode_count, {});
+    if (options_.worker == WorkerKind::kSerial) {
+      for (std::size_t e = 0; e < episode_count; ++e) {
+        out[e] = core::scan_segment(request.episodes[e].symbols(), request.semantics,
+                                    request.expiry, request.database, begin, end, 0, 0);
+      }
+      return;
+    }
+    // Single-scan engine on the chunk subspan: positions come back relative
+    // to the chunk, and a cold scan is position-invariant (the automaton only
+    // compares position differences), so normalizing the exit's first-match
+    // position by the chunk offset yields the absolute-position outcome.
+    const auto span =
+        request.database.subspan(static_cast<std::size_t>(begin),
+                                 static_cast<std::size_t>(end - begin));
+    std::vector<core::ScanExit> exits;
+    const auto counts = core::count_all_single_scan(request.episodes, span,
+                                                    request.semantics, request.expiry, exits);
+    for (std::size_t e = 0; e < episode_count; ++e) {
+      out[e] = {counts[e], exits[e].state, exits[e].first_match_pos + begin};
+    }
+  });
+
+  // Reduce phase: exact fold of the cold outcomes in chunk order.
+  std::vector<core::SegmentOutcome> per_episode(static_cast<std::size_t>(chunks));
+  for (std::size_t e = 0; e < episode_count; ++e) {
+    for (int c = 0; c < chunks; ++c) {
+      per_episode[static_cast<std::size_t>(c)] = cold[static_cast<std::size_t>(c)][e];
+    }
+    std::int64_t rescanned = 0;
+    result.counts[e] =
+        core::fold_cold_scans(request.episodes[e].symbols(), request.semantics,
+                              request.expiry, request.database, plan.chunk_bounds,
+                              per_episode, &rescanned);
+    telemetry_.rescanned_symbols += rescanned;
+  }
+
+  // Simulated cards: charge each chunk's analytic kernel time to the card
+  // that OWNS it — the modeled deployment pins chunks to cards, so the
+  // device-time prediction stays deterministic while host-side stealing only
+  // accelerates the wall-clock simulation.  Cards run concurrently, so the
+  // backend's device time is the slowest card's accumulated total (computed
+  // after the join, so a model precondition throws on the calling thread).
+  if (options_.worker == WorkerKind::kGpuSim) {
+    int alphabet = 1;
+    for (const core::Symbol s : request.database) {
+      alphabet = std::max(alphabet, static_cast<int>(s) + 1);
+    }
+    const gpusim::CostModel model(options_.cost_params);
+    std::vector<double> card_ms(static_cast<std::size_t>(options_.shards), 0.0);
+    for (int c = 0; c < chunks; ++c) {
+      const std::int64_t size = plan.chunk_bounds[static_cast<std::size_t>(c) + 1] -
+                                plan.chunk_bounds[static_cast<std::size_t>(c)];
+      if (size == 0) continue;
+      kernels::WorkloadSpec spec;
+      spec.db_size = size;
+      spec.episode_count = static_cast<std::int64_t>(episode_count);
+      spec.level = max_level_requested;
+      spec.alphabet_size = alphabet;
+      spec.params = options_.launch;
+      spec.params.semantics = request.semantics;
+      spec.params.expiry = request.expiry;
+      card_ms[static_cast<std::size_t>(plan.home_shard(c))] +=
+          kernels::predict_mining_time(options_.device, spec, model, options_.kernel_costs)
+              .total_ms;
+    }
+    result.simulated_kernel_ms = *std::max_element(card_ms.begin(), card_ms.end());
+  }
+
+  result.host_ms = elapsed_ms(start);
+  return result;
+}
+
+}  // namespace gm::distrib

@@ -1,0 +1,84 @@
+// DistribBackend: database-partitioned counting over N workers with dynamic
+// work stealing and exact recombination — the distribution layer's
+// CountingBackend, and the subsystem that retires the seed-era mapreduce/
+// module and kernels/multi_gpu.* predictor.
+//
+// count() builds a weighted ShardPlan, runs each chunk cold (entry state 0)
+// on a worker engine via the work-stealing scheduler, and folds the per-chunk
+// outcomes in chunk order with core::fold_cold_scans — bit-exact against the
+// serial reference for every semantics x expiry combination, including the
+// position-dependent expiry case that defeats blind transfer composition.
+//
+// Workers model three deployment shapes: the single-scan host engine (the
+// default, one pass per chunk driving all episodes), the per-episode serial
+// scanner (the reference worker), and a simulated GPU card per shard (host
+// cold scans for exact counts, the kernels workload model for the per-chunk
+// device charge; simulated_kernel_ms is the slowest card's accumulated time,
+// so N cards halve-and-again the simulated wall-clock the way the paper's
+// dual-die GX2 would).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/counting.hpp"
+#include "distrib/scheduler.hpp"
+#include "distrib/shard_plan.hpp"
+#include "kernels/mining_kernels.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device_spec.hpp"
+
+namespace gm::distrib {
+
+/// Inner engine each worker runs on the chunks it claims.
+enum class WorkerKind {
+  kSingleScan,  ///< core single-scan engine: one pass per chunk, all episodes
+  kSerial,      ///< per-episode scan_segment (the reference worker)
+  kGpuSim,      ///< simulated card per shard: host cold scans + analytic charge
+};
+
+[[nodiscard]] std::string to_string(WorkerKind kind);
+
+struct DistribOptions {
+  int shards = 2;
+  int steal_granularity = 4;
+  WorkerKind worker = WorkerKind::kSingleScan;
+  /// false: equal-symbol chunks instead of drain-weighted ones (tests provoke
+  /// steals by disabling the balance estimate on skewed streams).
+  bool weighted_plan = true;
+  /// kGpuSim only: the card every shard simulates, its launch shape, and the
+  /// cost constants the per-chunk charge is computed with.
+  gpusim::DeviceSpec device;
+  kernels::MiningLaunchParams launch = {};
+  kernels::KernelCostProfile kernel_costs = {};
+  gpusim::CostParams cost_params = {};
+
+  DistribOptions();  ///< defaults the device to the paper's GTX 280
+};
+
+class DistribBackend final : public core::CountingBackend {
+ public:
+  explicit DistribBackend(DistribOptions options = {});
+
+  /// "distrib-x4[cpu-single-scan]", "distrib-x2[gpusim]", ...
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] core::CountResult count(const core::CountRequest& request) override;
+  /// The gpusim worker models cards running the staged kernels, so it
+  /// inherits their frame-register level cap; host workers are unbounded.
+  [[nodiscard]] int max_level() const override;
+
+  /// Telemetry of the most recent count().
+  struct RunTelemetry {
+    StealStats steal;
+    std::int64_t rescanned_symbols = 0;  ///< fold fix-up work (lockstep replay)
+    int chunks = 0;
+  };
+  [[nodiscard]] const RunTelemetry& last_run() const noexcept { return telemetry_; }
+  [[nodiscard]] const DistribOptions& options() const noexcept { return options_; }
+
+ private:
+  DistribOptions options_;
+  RunTelemetry telemetry_;
+};
+
+}  // namespace gm::distrib

@@ -1,27 +1,32 @@
-// Episode counting expressed as MapReduce jobs, mirroring the paper's two
-// parallelization granularities (section 3.3.1):
+// Episode counting at the paper's two MapReduce granularities (section
+// 3.3.1), re-expressed on the distribution substrate.  Formerly
+// src/mapreduce/ — retired in favor of this layer; the generic typed
+// map/shuffle/reduce engine went with it, since both jobs reduce to the
+// chunk-grid + fold primitives everything else here uses.
 //
 //  * thread-level: the map unit is one episode; map emits its full-database
 //    count; reduce is the identity (one value per key).
 //  * block-level: the map unit is one (episode, chunk) pair; map emits the
-//    chunk's transfer outcome; reduce composes the outcomes in chunk order —
-//    the "intermediate step" of Figure 5 folded into the reduce function.
+//    chunk's cold-scan outcome; reduce folds the outcomes in chunk order via
+//    core::fold_cold_scans — the "intermediate step" of the paper's Figure 5
+//    folded into the reduce function.  Unlike the retired implementation
+//    (overlap-rescan under expiry, approximate), the fold is bit-exact
+//    against the serial reference for every semantics x expiry combination.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/automaton.hpp"
 #include "core/episode.hpp"
-#include "core/segment_counter.hpp"
-#include "mapreduce/mapreduce.hpp"
 
-namespace gm::mapreduce {
+namespace gm::distrib {
 
 struct EpisodeCountOptions {
   core::Semantics semantics = core::Semantics::kNonOverlappedSubsequence;
   core::ExpiryPolicy expiry = {};
-  int threads = 0;  ///< host workers
+  int threads = 0;  ///< host workers; 0 = hardware concurrency
   int chunks = 16;  ///< block-level: database chunks per episode
 };
 
@@ -30,11 +35,9 @@ struct EpisodeCountOptions {
     std::span<const core::Symbol> database, std::span<const core::Episode> episodes,
     const EpisodeCountOptions& options = {});
 
-/// Block-level job: one map call per (episode, chunk), composing reduce.
-/// Exact (state-composition spanning fix) when expiry is disabled; with
-/// expiry it applies the overlap-rescan fix like the GPU kernels.
+/// Block-level job: one map call per (episode, chunk), exact fold reduce.
 [[nodiscard]] std::vector<std::int64_t> count_episodes_block_level(
     std::span<const core::Symbol> database, std::span<const core::Episode> episodes,
     const EpisodeCountOptions& options = {});
 
-}  // namespace gm::mapreduce
+}  // namespace gm::distrib

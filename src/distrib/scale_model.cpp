@@ -1,0 +1,63 @@
+#include "distrib/scale_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/segment_counter.hpp"
+
+namespace gm::distrib {
+
+ScalePrediction predict_scaled_mining(const gpusim::DeviceSpec& device, int devices,
+                                      const kernels::WorkloadSpec& spec, ShardAxis axis,
+                                      const gpusim::CostModel& model,
+                                      const kernels::KernelCostProfile& costs,
+                                      double merge_ns_per_entry) {
+  gm::expects(devices >= 1, "need at least one device");
+  gm::expects(spec.episode_count >= 1, "need at least one episode");
+
+  ScalePrediction out;
+  if (axis == ShardAxis::kEpisodes) {
+    const std::int64_t base = spec.episode_count / devices;
+    const std::int64_t extra = spec.episode_count % devices;
+    for (int d = 0; d < devices; ++d) {
+      const std::int64_t share = base + (d < extra ? 1 : 0);
+      out.share_per_device.push_back(share);
+      if (share == 0) {
+        out.per_device_ms.push_back(0.0);
+        continue;
+      }
+      kernels::WorkloadSpec device_spec = spec;
+      device_spec.episode_count = share;
+      out.per_device_ms.push_back(
+          kernels::predict_mining_time(device, device_spec, model, costs).total_ms);
+    }
+  } else {
+    const auto bounds = core::chunk_boundaries(spec.db_size, devices);
+    for (int d = 0; d < devices; ++d) {
+      const std::int64_t share =
+          bounds[static_cast<std::size_t>(d) + 1] - bounds[static_cast<std::size_t>(d)];
+      out.share_per_device.push_back(share);
+      if (share == 0) {
+        out.per_device_ms.push_back(0.0);
+        continue;
+      }
+      kernels::WorkloadSpec device_spec = spec;
+      device_spec.db_size = share;
+      out.per_device_ms.push_back(
+          kernels::predict_mining_time(device, device_spec, model, costs).total_ms);
+    }
+    // Every device contributes one cold outcome per episode to the host fold.
+    out.merge_ms = static_cast<double>(spec.episode_count) * devices * merge_ns_per_entry *
+                   1e-6;
+  }
+
+  const double max_ms = *std::max_element(out.per_device_ms.begin(), out.per_device_ms.end());
+  double sum = 0.0;
+  for (const double ms : out.per_device_ms) sum += ms;
+  const double mean = sum / devices;
+  out.imbalance = mean > 0.0 ? max_ms / mean : 1.0;
+  out.total_ms = max_ms + out.merge_ms;
+  return out;
+}
+
+}  // namespace gm::distrib

@@ -1,0 +1,36 @@
+// Work-stealing execution of a ShardPlan's chunk grid.
+//
+// One worker thread per shard; each drains its home run of chunks through a
+// per-shard atomic cursor, then steals single chunks from the most-loaded
+// shard until every cursor is exhausted.  Chunk claims are fetch_add races,
+// so a chunk runs exactly once; workers write only chunk-private or
+// worker-private slots and the caller reads after the join, keeping the whole
+// run free of data races (the distrib tests run under TSan).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "distrib/shard_plan.hpp"
+
+namespace gm::distrib {
+
+/// Telemetry of one run_sharded call.
+struct StealStats {
+  /// Chunks executed by a worker other than their home shard's.
+  std::int64_t steals = 0;
+  /// Chunks each worker completed (size = plan.shards).
+  std::vector<std::int64_t> chunks_by_worker;
+};
+
+/// Run every chunk of `plan` over `plan.shards` worker threads with dynamic
+/// stealing.  `chunk_fn(worker, chunk, begin, end)` is called exactly once
+/// per chunk, possibly from any worker thread; it must touch only state
+/// private to that chunk or that worker.  Returns after all chunks ran.
+StealStats run_sharded(
+    const ShardPlan& plan,
+    const std::function<void(int worker, int chunk, std::int64_t begin, std::int64_t end)>&
+        chunk_fn);
+
+}  // namespace gm::distrib

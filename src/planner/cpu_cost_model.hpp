@@ -65,7 +65,21 @@ struct CpuCostConstants {
   double thread_spawn_us = 60.0;
   /// Sharded fold: composing one (episode, shard) transfer outcome.
   double fold_step_ns = 8.0;
+  /// Distrib reduce: folding one (episode, chunk) cold outcome in chunk
+  /// order (branch + count add; matches the scale model's merge charge).
+  double distrib_merge_ns = 12.0;
+  /// Distrib reduce: one serially re-stepped symbol when a chunk entered
+  /// with live automaton state (twin-replay until convergence).
+  double distrib_rescan_ns = 2.5;
+  /// Work-stealing scheduler: claiming one chunk (atomic cursor bump,
+  /// victim scan amortized) plus dispatch into the worker closure.
+  double distrib_steal_ns = 400.0;
 };
+
+/// Chunks per shard the planner assumes when costing distrib candidates —
+/// kept equal to distrib::ShardPlanOptions{}.steal_granularity so the model
+/// prices the backend it would actually construct.
+inline constexpr int kPlannedStealGranularity = 4;
 
 /// Predicted wall-clock (ms) of one counting level on each CPU backend.
 /// `threads` is the worker count the backend would actually use (callers
@@ -80,5 +94,12 @@ struct CpuCostConstants {
 [[nodiscard]] double predict_cpu_single_scan_ms(const Workload& w,
                                                 const CpuCostConstants& c = {});
 [[nodiscard]] double predict_cpu_trie_ms(const Workload& w, const CpuCostConstants& c = {});
+
+/// The distrib backend's host curve: the single-scan map split over `shards`
+/// work-stealing workers, plus the chunk-ordered fold, the expected
+/// boundary rescans (bounded by the expiry window or the typical automaton
+/// reset distance), and per-chunk steal/claim overhead.
+[[nodiscard]] double predict_cpu_distrib_ms(const Workload& w, int shards,
+                                            const CpuCostConstants& c = {});
 
 }  // namespace gm::planner

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "core/cpu_backend.hpp"
+#include "distrib/distrib_backend.hpp"
+#include "distrib/scale_model.hpp"
 #include "kernels/gpu_backend.hpp"
 #include "kernels/workload_model.hpp"
 
@@ -53,8 +55,71 @@ ScoredCandidate score_cpu(const Workload& w, BackendKind kind, int threads,
                      : note;
       break;
     }
-    case BackendKind::kGpuSim: gm::raise_precondition("score_cpu called for gpusim"); break;
+    case BackendKind::kGpuSim:
+    case BackendKind::kDistrib:
+      gm::raise_precondition("score_cpu called for a non-CPU kind");
+      break;
   }
+  return c;
+}
+
+/// One distrib candidate per device count.  Host flavor: the work-stealing
+/// single-scan curve.  Card flavor: the scale model's database-axis split
+/// (per-shard kernel time + merge + imbalance), minimized over the launch
+/// sweep so the candidate carries the launch each card would actually run.
+ScoredCandidate score_distrib(const Workload& w, int devices, bool gpu,
+                              const PlannerOptions& options) {
+  ScoredCandidate c;
+  c.config.kind = BackendKind::kDistrib;
+  c.config.threads = devices;
+  c.config.distrib_gpu = gpu;
+  if (!gpu) {
+    c.feasible = true;
+    c.predicted_ms = predict_cpu_distrib_ms(w, devices, options.cpu_constants);
+    c.reason = "work-stealing single-scan shards";
+    return c;
+  }
+  if (w.level > kernels::kMaxLevel) {
+    c.reason = "backend max_level " + std::to_string(kernels::kMaxLevel) +
+               " < requested level " + std::to_string(w.level) +
+               " (frame-register episode staging)";
+    return c;
+  }
+  // Counts come from the host fold (always exact); the launch only shapes
+  // the simulated card time, so no exactness gate applies here.
+  const gpusim::CostModel model(options.cost_params);
+  double best_ms = 0.0;
+  bool found = false;
+  for (const kernels::Algorithm algorithm : kernels::all_algorithms()) {
+    for (const int tpb : options.tpb_sweep) {
+      if (tpb > options.device.max_threads_per_block) continue;
+      try {
+        const auto scaled = distrib::predict_scaled_mining(
+            options.device, devices, gpu_workload_spec(w, algorithm, tpb),
+            distrib::ShardAxis::kDatabase, model, options.kernel_costs);
+        if (!found || scaled.total_ms < best_ms) {
+          found = true;
+          best_ms = scaled.total_ms;
+          c.config.algorithm = algorithm;
+          c.config.threads_per_block = tpb;
+          char note[96];
+          std::snprintf(note, sizeof(note),
+                        "%d card(s) x algo%d/t%d, merge %.3f ms, imbalance %.2f", devices,
+                        kernels::algorithm_number(algorithm), tpb, scaled.merge_ms,
+                        scaled.imbalance);
+          c.reason = note;
+        }
+      } catch (const gm::Error&) {
+        // This (algorithm, tpb) cannot run on the per-card shard; skip it.
+      }
+    }
+  }
+  if (!found) {
+    c.reason = "no launch in the sweep fits the per-card shard";
+    return c;
+  }
+  c.feasible = true;
+  c.predicted_ms = best_ms;
   return c;
 }
 
@@ -152,11 +217,15 @@ std::string_view backend_kind_name(BackendKind kind) {
     case BackendKind::kCpuSingleScan: return "cpu-single-scan";
     case BackendKind::kCpuTrieScan: return "cpu-trie-scan";
     case BackendKind::kGpuSim: return "gpusim";
+    case BackendKind::kDistrib: return "distrib";
   }
   gm::raise_precondition("unknown backend kind");
 }
 
 std::string CandidateConfig::label() const {
+  if (kind == BackendKind::kDistrib) {
+    return std::string(distrib_gpu ? "distrib-gpu-x" : "distrib-x") + std::to_string(threads);
+  }
   if (kind == BackendKind::kGpuSim) {
     return "gpusim-algo" + std::to_string(kernels::algorithm_number(algorithm)) +
            (trie_buckets ? "-trie" : "") + "/t" + std::to_string(threads_per_block);
@@ -204,6 +273,17 @@ Plan plan_level(const Workload& workload, const PlannerOptions& options) {
           plan.table.push_back(score_gpu(workload, algorithm, tpb, true, options));
         }
       }
+    }
+  }
+  // The device-count axis: one distrib candidate per flavor per sweep entry,
+  // so the table answers "when does 2x card beat 1x card at this level".
+  for (const int devices : options.device_sweep) {
+    gm::expects(devices >= 1, "device_sweep entries must be positive");
+    if (options.enable_cpu) {
+      plan.table.push_back(score_distrib(workload, devices, false, options));
+    }
+    if (options.enable_gpu) {
+      plan.table.push_back(score_distrib(workload, devices, true, options));
     }
   }
 
@@ -263,6 +343,20 @@ Plan plan_level(const Workload& workload, const PlannerOptions& options) {
 
 std::unique_ptr<core::CountingBackend> make_planned_backend(const CandidateConfig& config,
                                                             const PlannerOptions& options) {
+  if (config.kind == BackendKind::kDistrib) {
+    distrib::DistribOptions d;
+    d.shards = config.threads;
+    d.worker = config.distrib_gpu ? distrib::WorkerKind::kGpuSim
+                                  : distrib::WorkerKind::kSingleScan;
+    d.device = options.device;
+    d.cost_params = options.cost_params;
+    d.kernel_costs = options.kernel_costs;
+    if (config.distrib_gpu) {
+      d.launch.algorithm = config.algorithm;
+      d.launch.threads_per_block = config.threads_per_block;
+    }
+    return std::make_unique<distrib::DistribBackend>(d);
+  }
   if (config.kind == BackendKind::kGpuSim) {
     kernels::MiningLaunchParams params;
     params.algorithm = config.algorithm;

@@ -40,6 +40,9 @@ enum class BackendKind {
   kCpuSingleScan,
   kCpuTrieScan,
   kGpuSim,
+  /// Work-stealing shard engine over N devices (distrib::DistribBackend):
+  /// host single-scan workers, or simulated cards when distrib_gpu is set.
+  kDistrib,
 };
 
 /// The make_cpu_backend / BackendSpec name of a kind ("cpu-serial", ...,
@@ -50,17 +53,19 @@ enum class BackendKind {
 /// the backend it names.
 struct CandidateConfig {
   BackendKind kind = BackendKind::kCpuSerial;
-  /// CPU backends: resolved worker count.
+  /// CPU backends: resolved worker count.  kDistrib: the device/shard count.
   int threads = 1;
-  /// gpusim only.
+  /// gpusim only (kDistrib with distrib_gpu: the launch each card runs).
   kernels::Algorithm algorithm = kernels::Algorithm::kThreadTexture;
   int threads_per_block = 0;
   /// gpusim + algo5 only: bucket shared-prefix trie tokens instead of flat
   /// per-episode automata (MiningLaunchParams::trie_buckets).
   bool trie_buckets = false;
+  /// kDistrib only: shards run as simulated cards instead of host workers.
+  bool distrib_gpu = false;
 
   /// Stable display / cache key, e.g. "cpu-sharded-x8", "gpusim-algo5/t128",
-  /// or "gpusim-algo5-trie/t128".
+  /// "gpusim-algo5-trie/t128", "distrib-x4", or "distrib-gpu-x2".
   [[nodiscard]] std::string label() const;
 };
 
@@ -99,6 +104,13 @@ struct PlannerOptions {
   int cpu_threads = 0;
   /// threads-per-block sweep for the gpusim candidates.
   std::vector<int> tpb_sweep = {32, 64, 128, 256, 512};
+  /// Device counts to score distrib (work-stealing shard) candidates at:
+  /// each entry N adds "distrib-xN" (host workers, enable_cpu) and
+  /// "distrib-gpu-xN" (simulated cards, enable_gpu) to the table, so the
+  /// plan answers "when does 2x card beat 1x card at this level".  Empty
+  /// (the default) keeps the single-device candidate space — the planner
+  /// must not assume extra hardware exists unless the caller says so.
+  std::vector<int> device_sweep = {};
   /// Candidate-space gates (a shootout validating only host backends turns
   /// the GPU off; both off is a precondition error in plan_level).
   bool enable_cpu = true;

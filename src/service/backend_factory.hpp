@@ -20,11 +20,11 @@ namespace gm::service {
 /// Everything needed to name a counting backend on a command line.
 struct BackendSpec {
   /// "cpu-serial" | "cpu-parallel" | "cpu-sharded" | "cpu-single-scan" |
-  /// "gpusim" | "auto" (unprefixed cpu aliases accepted).  "auto" plans the
-  /// formulation per counting level (planner::AutoBackend): `card` names the
-  /// device its GPU candidates are scored for and `threads` its CPU worker
-  /// budget; `launch` is ignored (the planner sweeps algorithms and
-  /// threads-per-block itself).
+  /// "distrib" | "distrib-gpu" | "gpusim" | "auto" (unprefixed cpu aliases
+  /// accepted).  "auto" plans the formulation per counting level
+  /// (planner::AutoBackend): `card` names the device its GPU candidates are
+  /// scored for and `threads` its CPU worker budget; `launch` is ignored
+  /// (the planner sweeps algorithms and threads-per-block itself).
   std::string name = "gpusim";
   int threads = 0;  ///< CPU backends: 0 = hardware concurrency
   std::string card = "gtx280";
@@ -33,6 +33,11 @@ struct BackendSpec {
   /// `backend_shootout --fit-calibration`) whose constants replace the
   /// shipped cost-model defaults the planner scores with.  Empty = shipped.
   std::string calibration = {};
+  /// "distrib"/"distrib-gpu": shard/device count (0 = hardware concurrency
+  /// for host workers, 2 cards — the GX2 — for the gpu flavor).  "auto":
+  /// shards > 0 opens the planner's device axis, scoring distrib candidates
+  /// at every count in 1..shards.  Other backends ignore it.
+  int shards = 0;
 };
 
 /// Construct the backend a spec names.  Throws gm::PreconditionError for an

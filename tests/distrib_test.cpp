@@ -1,0 +1,366 @@
+// Distribution-layer tests: the exact cold-scan fold, the weighted shard
+// plan, the work-stealing scheduler (exactly-once execution, steals under
+// skew), DistribBackend's bit-exact equivalence with the serial reference
+// across semantics x expiry x shard counts x steal granularity, and the
+// relocated episode jobs (the block-level job is now exact under expiry,
+// closing the seed-era overlap-rescan approximation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/candidate_gen.hpp"
+#include "core/multi_counter.hpp"
+#include "core/segment_counter.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "distrib/distrib_backend.hpp"
+#include "distrib/episode_job.hpp"
+#include "distrib/scale_model.hpp"
+#include "distrib/scheduler.hpp"
+#include "distrib/shard_plan.hpp"
+#include "kernels/mining_kernels.hpp"
+
+namespace gm::distrib {
+namespace {
+
+using core::Alphabet;
+using core::Episode;
+using core::ExpiryPolicy;
+using core::Semantics;
+
+std::vector<Episode> random_episodes(Rng& rng, int count, int max_level, int alphabet) {
+  std::vector<Episode> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto level = rng.between(1, max_level);
+    std::vector<core::Symbol> symbols;
+    for (std::int64_t k = 0; k < level; ++k) {
+      symbols.push_back(static_cast<core::Symbol>(rng.below(static_cast<std::uint64_t>(alphabet))));
+    }
+    out.emplace_back(std::move(symbols));
+  }
+  return out;
+}
+
+// --- core primitive: exact cold-scan fold ----------------------------------
+
+TEST(FoldColdScans, ExactOnAdversarialSmallInputs) {
+  Rng rng(20090808);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto size = rng.between(1, 40);
+    core::Sequence db;
+    for (std::int64_t i = 0; i < size; ++i) {
+      db.push_back(static_cast<core::Symbol>(rng.below(3)));
+    }
+    const auto episodes = random_episodes(rng, 1, 4, 3);
+    const auto symbols = episodes[0].symbols();
+    const Semantics semantics = rng.chance(0.5) ? Semantics::kNonOverlappedSubsequence
+                                                : Semantics::kContiguousRestart;
+    const ExpiryPolicy expiry{rng.between(0, 3) == 0 ? 0 : rng.between(1, size + 2)};
+    const auto chunks = static_cast<int>(rng.between(1, 6));
+    const auto bounds = core::chunk_boundaries(size, chunks);
+
+    std::vector<core::SegmentOutcome> cold;
+    for (int c = 0; c < chunks; ++c) {
+      cold.push_back(core::scan_segment(symbols, semantics, expiry, db,
+                                        bounds[static_cast<std::size_t>(c)],
+                                        bounds[static_cast<std::size_t>(c) + 1], 0, 0));
+    }
+    const auto folded = core::fold_cold_scans(symbols, semantics, expiry, db, bounds, cold);
+    const auto expected = core::count_occurrences(episodes[0], db, semantics, expiry);
+    ASSERT_EQ(folded, expected)
+        << "trial " << trial << " |DB|=" << size << " chunks=" << chunks
+        << " window=" << expiry.window << " semantics=" << core::to_string(semantics);
+  }
+}
+
+TEST(SingleScanExits, MatchTheSerialAutomatonConfiguration) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto size = rng.between(1, 120);
+    core::Sequence db;
+    for (std::int64_t i = 0; i < size; ++i) {
+      db.push_back(static_cast<core::Symbol>(rng.below(4)));
+    }
+    const auto episodes = random_episodes(rng, 8, 3, 4);
+    const Semantics semantics = rng.chance(0.5) ? Semantics::kNonOverlappedSubsequence
+                                                : Semantics::kContiguousRestart;
+    const ExpiryPolicy expiry{rng.chance(0.5) ? std::int64_t{0} : rng.between(1, 9)};
+
+    std::vector<core::ScanExit> exits;
+    const auto counts = core::count_all_single_scan(episodes, db, semantics, expiry, exits);
+    ASSERT_EQ(exits.size(), episodes.size());
+    for (std::size_t e = 0; e < episodes.size(); ++e) {
+      core::EpisodeAutomaton automaton(episodes[e].symbols(), semantics, expiry);
+      std::int64_t count = 0;
+      for (std::size_t i = 0; i < db.size(); ++i) {
+        if (automaton.step(db[i], static_cast<std::int64_t>(i))) ++count;
+      }
+      EXPECT_EQ(counts[e], count);
+      EXPECT_EQ(exits[e].state, automaton.state()) << "trial " << trial << " episode " << e;
+      if (automaton.state() > 0) {
+        EXPECT_EQ(exits[e].first_match_pos, automaton.first_match_pos());
+      }
+    }
+  }
+}
+
+// --- shard plan -------------------------------------------------------------
+
+TEST(ShardPlan, UnweightedEqualsEqualSymbolChunking) {
+  const Alphabet alphabet(4);
+  const auto db = data::uniform_database(alphabet, 1003, 7);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+  const auto plan = make_shard_plan(db, episodes, {3, 4, /*weighted=*/false});
+  EXPECT_EQ(plan.chunk_bounds, core::chunk_boundaries(1003, 12));
+  EXPECT_EQ(plan.chunk_count(), 12);
+  EXPECT_EQ(plan.home_shard(0), 0);
+  EXPECT_EQ(plan.home_shard(11), 2);
+}
+
+TEST(ShardPlan, WeightedCutsShrinkDrainHeavyChunks) {
+  // First half of the stream is all symbol 0 — which every episode contains —
+  // so its estimated drain work dwarfs the second half's (symbol 3 appears in
+  // no episode).  Weighted cuts must put the midpoint boundary well before
+  // the symbol midpoint.
+  core::Sequence db;
+  for (int i = 0; i < 2000; ++i) db.push_back(0);
+  for (int i = 0; i < 2000; ++i) db.push_back(3);
+  std::vector<Episode> episodes;
+  episodes.emplace_back(core::Sequence{0, 1});
+  episodes.emplace_back(core::Sequence{0, 2});
+  episodes.emplace_back(core::Sequence{1, 0});
+
+  const auto plan = make_shard_plan(db, episodes, {2, 1, /*weighted=*/true});
+  ASSERT_EQ(plan.chunk_count(), 2);
+  EXPECT_EQ(plan.chunk_bounds.front(), 0);
+  EXPECT_EQ(plan.chunk_bounds.back(), 4000);
+  EXPECT_LT(plan.chunk_bounds[1], 1500);
+  // The weight estimate itself should be near-balanced across the cut.
+  EXPECT_NEAR(plan.chunk_weight[0], plan.chunk_weight[1], plan.chunk_weight[0] * 0.1);
+}
+
+// --- scheduler --------------------------------------------------------------
+
+TEST(ShardScheduler, EveryChunkRunsExactlyOnce) {
+  const Alphabet alphabet(5);
+  const auto db = data::zipf_database(alphabet, 5000, 1.0, 3);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+  const auto plan = make_shard_plan(db, episodes, {8, 4});
+  std::vector<std::atomic<int>> runs(static_cast<std::size_t>(plan.chunk_count()));
+  for (auto& r : runs) r.store(0);
+
+  const auto stats = run_sharded(plan, [&](int, int chunk, std::int64_t begin,
+                                           std::int64_t end) {
+    EXPECT_EQ(begin, plan.chunk_bounds[static_cast<std::size_t>(chunk)]);
+    EXPECT_EQ(end, plan.chunk_bounds[static_cast<std::size_t>(chunk) + 1]);
+    runs[static_cast<std::size_t>(chunk)].fetch_add(1);
+  });
+
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+  ASSERT_EQ(stats.chunks_by_worker.size(), 8u);
+  std::int64_t total = 0;
+  for (const auto n : stats.chunks_by_worker) total += n;
+  EXPECT_EQ(total, plan.chunk_count());
+}
+
+TEST(ShardScheduler, SkewedShardsProvokeSteals) {
+  // All the real work parked on shard 0's chunks: the other three workers
+  // finish their (trivial) home runs immediately and must steal shard 0's
+  // remaining chunks while its owner sleeps through the first one.
+  ShardPlan plan;
+  plan.shards = 4;
+  plan.steal_granularity = 4;
+  for (int c = 0; c <= 16; ++c) plan.chunk_bounds.push_back(c);
+  plan.chunk_weight.assign(16, 1.0);
+
+  std::vector<std::atomic<int>> runs(16);
+  for (auto& r : runs) r.store(0);
+  const auto stats = run_sharded(plan, [&](int, int chunk, std::int64_t, std::int64_t) {
+    runs[static_cast<std::size_t>(chunk)].fetch_add(1);
+    if (chunk < 4) std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  });
+
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+  EXPECT_GT(stats.steals, 0);
+}
+
+// --- DistribBackend ---------------------------------------------------------
+
+TEST(DistribBackendProperty, BitExactVsSerialAcrossShardsSemanticsExpiry) {
+  Rng rng(20090525);
+  const Alphabet alphabet(6);
+  const auto uniform = data::uniform_database(alphabet, 4001, 11);
+  const auto zipf = data::zipf_database(alphabet, 4001, 1.0, 13);
+
+  int trial = 0;
+  for (const auto* db : {&uniform, &zipf}) {
+    for (const Semantics semantics :
+         {Semantics::kNonOverlappedSubsequence, Semantics::kContiguousRestart}) {
+      for (const std::int64_t window : {std::int64_t{0}, std::int64_t{3}, std::int64_t{17},
+                                        std::int64_t{4001}}) {
+        for (const int shards : {1, 2, 3, 5, 16}) {
+          const int granularity = 1 + trial % 4;
+          const WorkerKind worker =
+              trial % 3 == 0 ? WorkerKind::kSerial : WorkerKind::kSingleScan;
+          ++trial;
+
+          const auto episodes = random_episodes(rng, 24, 4, 6);
+          const ExpiryPolicy expiry{window};
+          const auto expected = core::count_all(episodes, *db, semantics, expiry);
+
+          DistribOptions options;
+          options.shards = shards;
+          options.steal_granularity = granularity;
+          options.worker = worker;
+          DistribBackend backend(options);
+          core::CountRequest request;
+          request.database = *db;
+          request.episodes = episodes;
+          request.semantics = semantics;
+          request.expiry = expiry;
+          const auto result = backend.count(request);
+          ASSERT_EQ(result.counts, expected)
+              << "shards=" << shards << " granularity=" << granularity
+              << " worker=" << to_string(worker) << " window=" << window
+              << " semantics=" << core::to_string(semantics);
+          EXPECT_EQ(backend.last_run().chunks, shards * granularity);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistribBackend, NameAndTelemetryDescribeTheRun) {
+  DistribOptions options;
+  options.shards = 4;
+  options.steal_granularity = 2;
+  DistribBackend backend(options);
+  EXPECT_EQ(backend.name(), "distrib-x4[cpu-single-scan]");
+
+  const Alphabet alphabet(4);
+  const auto db = data::uniform_database(alphabet, 800, 3);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  (void)backend.count(request);
+  EXPECT_EQ(backend.last_run().chunks, 8);
+  std::int64_t total = 0;
+  for (const auto n : backend.last_run().steal.chunks_by_worker) total += n;
+  EXPECT_EQ(total, 8);
+}
+
+TEST(DistribBackend, SimulatedCardsScaleAndStayExact) {
+  const Alphabet alphabet(6);
+  const auto db = data::uniform_database(alphabet, 20000, 17);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+  const auto expected =
+      core::count_all(episodes, db, Semantics::kNonOverlappedSubsequence);
+
+  auto run_with = [&](int shards) {
+    DistribOptions options;
+    options.shards = shards;
+    options.steal_granularity = 2;
+    options.worker = WorkerKind::kGpuSim;
+    options.launch.threads_per_block = 128;
+    DistribBackend backend(options);
+    EXPECT_EQ(backend.max_level(), kernels::kMaxLevel);
+    core::CountRequest request;
+    request.database = db;
+    request.episodes = episodes;
+    const auto result = backend.count(request);
+    EXPECT_EQ(result.counts, expected) << shards << " cards";
+    return result.simulated_kernel_ms;
+  };
+
+  const double one_card = run_with(1);
+  const double two_cards = run_with(2);
+  EXPECT_GT(two_cards, 0.0);
+  // Chunks are pinned to their owning card in the device-time model, so two
+  // cards split the stream and the slowest card carries about half the work.
+  EXPECT_GT(one_card / two_cards, 1.5);
+  EXPECT_LE(one_card / two_cards, 2.1);
+}
+
+// --- scale model ------------------------------------------------------------
+
+TEST(ScaleModel, DatabaseAxisChargesMergeAndSplitsTheStream) {
+  kernels::WorkloadSpec spec;
+  spec.db_size = 100000;
+  spec.episode_count = 500;
+  spec.level = 2;
+  spec.params.algorithm = kernels::Algorithm::kThreadTexture;
+  spec.params.threads_per_block = 128;
+
+  const auto device = gpusim::geforce_gtx_280();
+  const auto one = predict_scaled_mining(device, 1, spec, ShardAxis::kDatabase);
+  const auto four = predict_scaled_mining(device, 4, spec, ShardAxis::kDatabase);
+  ASSERT_EQ(four.share_per_device.size(), 4u);
+  EXPECT_EQ(four.share_per_device[0] + four.share_per_device[1] +
+                four.share_per_device[2] + four.share_per_device[3],
+            100000);
+  EXPECT_GT(four.merge_ms, one.merge_ms);
+  EXPECT_GT(one.total_ms / four.total_ms, 1.0);
+  EXPECT_NEAR(four.imbalance, 1.0, 0.05);
+}
+
+// --- relocated episode jobs (block-level now exact under expiry) ------------
+
+class EpisodeJobProperty : public ::testing::TestWithParam<int /*chunks*/> {};
+
+TEST_P(EpisodeJobProperty, BothGranularitiesMatchTheOracleIncludingExpiry) {
+  const int chunks = GetParam();
+  const Alphabet alphabet(5);
+  const auto db = data::uniform_database(alphabet, 3001, 77);
+
+  for (int level = 1; level <= 3; ++level) {
+    const auto episodes = core::all_distinct_episodes(alphabet, level);
+    for (const std::int64_t window : {std::int64_t{0}, std::int64_t{5}, std::int64_t{29}}) {
+      const ExpiryPolicy expiry{window};
+      const auto expected =
+          core::count_all(episodes, db, Semantics::kNonOverlappedSubsequence, expiry);
+
+      EpisodeCountOptions options;
+      options.threads = 2;
+      options.chunks = chunks;
+      options.expiry = expiry;
+      EXPECT_EQ(count_episodes_thread_level(db, episodes, options), expected)
+          << "thread-level, L" << level << " window " << window;
+      EXPECT_EQ(count_episodes_block_level(db, episodes, options), expected)
+          << "block-level, L" << level << " chunks " << chunks << " window " << window;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EpisodeJobProperty, ::testing::Values(1, 4, 13, 64));
+
+TEST(EpisodeJob, BlockLevelExpiryBitExactRandomized) {
+  // The seed-era block-level job was only approximate under expiry (overlap
+  // rescan); the fold-based one must match the serial reference exactly on
+  // randomized (semantics x expiry x chunks) draws.
+  Rng rng(8);
+  const Alphabet alphabet(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto size = rng.between(200, 2200);
+    const auto db = data::uniform_database(alphabet, size, 100 + trial);
+    const auto episodes = random_episodes(rng, 12, 3, 4);
+    EpisodeCountOptions options;
+    options.semantics = rng.chance(0.5) ? Semantics::kNonOverlappedSubsequence
+                                        : Semantics::kContiguousRestart;
+    options.expiry = ExpiryPolicy{rng.between(1, 40)};
+    options.chunks = static_cast<int>(rng.between(1, 33));
+    options.threads = 2;
+    const auto expected = core::count_all(episodes, db, options.semantics, options.expiry);
+    ASSERT_EQ(count_episodes_block_level(db, episodes, options), expected)
+        << "trial " << trial << " chunks " << options.chunks << " window "
+        << options.expiry.window;
+  }
+}
+
+}  // namespace
+}  // namespace gm::distrib

@@ -1,5 +1,5 @@
 // Integration tests: the simulated-GPU counting backend inside the miner,
-// and the multi-die prediction extension.
+// and the multi-device scale-model extension (distrib/scale_model.hpp).
 #include <gtest/gtest.h>
 
 #include "core/cpu_backend.hpp"
@@ -7,7 +7,7 @@
 #include "core/serial_counter.hpp"
 #include "data/generators.hpp"
 #include "kernels/gpu_backend.hpp"
-#include "kernels/multi_gpu.hpp"
+#include "distrib/scale_model.hpp"
 
 namespace gm::kernels {
 namespace {
@@ -89,10 +89,12 @@ TEST(MultiGpu, TwoDiesNearlyHalveLargeProblems) {
   spec.params.threads_per_block = 128;
 
   const auto gx2 = gpusim::geforce_9800_gx2();
-  const auto one = predict_multi_gpu(gx2, 1, spec);
-  const auto two = predict_multi_gpu(gx2, 2, spec);
-  EXPECT_EQ(two.episodes_per_die.size(), 2u);
-  EXPECT_EQ(two.episodes_per_die[0] + two.episodes_per_die[1], 15'600);
+  const auto one =
+      distrib::predict_scaled_mining(gx2, 1, spec, distrib::ShardAxis::kEpisodes);
+  const auto two =
+      distrib::predict_scaled_mining(gx2, 2, spec, distrib::ShardAxis::kEpisodes);
+  EXPECT_EQ(two.share_per_device.size(), 2u);
+  EXPECT_EQ(two.share_per_device[0] + two.share_per_device[1], 15'600);
   EXPECT_GT(one.total_ms / two.total_ms, 1.5);
   EXPECT_LE(one.total_ms / two.total_ms, 2.05);
 }
@@ -108,8 +110,10 @@ TEST(MultiGpu, SmallProblemsDoNotScale) {
   spec.params.threads_per_block = 32;
 
   const auto gx2 = gpusim::geforce_9800_gx2();
-  const auto one = predict_multi_gpu(gx2, 1, spec);
-  const auto two = predict_multi_gpu(gx2, 2, spec);
+  const auto one =
+      distrib::predict_scaled_mining(gx2, 1, spec, distrib::ShardAxis::kEpisodes);
+  const auto two =
+      distrib::predict_scaled_mining(gx2, 2, spec, distrib::ShardAxis::kEpisodes);
   EXPECT_LT(one.total_ms / two.total_ms, 1.2);
 }
 
@@ -120,8 +124,9 @@ TEST(MultiGpu, MoreDiesThanEpisodes) {
   spec.level = 1;
   spec.params.algorithm = Algorithm::kThreadTexture;
   spec.params.threads_per_block = 32;
-  const auto p = predict_multi_gpu(gpusim::geforce_gtx_280(), 4, spec);
-  EXPECT_EQ(p.episodes_per_die, (std::vector<std::int64_t>{1, 1, 0, 0}));
+  const auto p = distrib::predict_scaled_mining(gpusim::geforce_gtx_280(), 4, spec,
+                                                distrib::ShardAxis::kEpisodes);
+  EXPECT_EQ(p.share_per_device, (std::vector<std::int64_t>{1, 1, 0, 0}));
   EXPECT_GT(p.total_ms, 0.0);
 }
 

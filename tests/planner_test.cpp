@@ -9,7 +9,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "bench_support/paper_setup.hpp"
 #include "core/cpu_backend.hpp"
 #include "core/miner.hpp"
 #include "core/serial_counter.hpp"
@@ -18,6 +17,7 @@
 #include "planner/cpu_cost_model.hpp"
 #include "planner/planner.hpp"
 #include "planner/workload.hpp"
+#include "service/backend_factory.hpp"
 
 namespace gm::planner {
 namespace {
@@ -385,16 +385,124 @@ TEST(AutoBackend, FeedbackConvergesToStableModelError) {
   }
 }
 
+TEST(Planner, DefaultCandidateSpaceHasNoDistribCandidates) {
+  // The planner must not assume extra devices exist: without an explicit
+  // device_sweep the table is exactly the single-device space.
+  const Plan plan = plan_level(basic_workload(), deterministic_options());
+  for (const ScoredCandidate& c : plan.table) {
+    EXPECT_NE(c.config.kind, BackendKind::kDistrib) << c.config.label();
+  }
+}
+
+TEST(Planner, DeviceSweepFlipsToMultiCardOnTheLargeEvaluationShape) {
+  // The paper's level-3 shape is kernel-bound, so splitting the stream over
+  // two (then four) simulated cards nearly halves the dominant term while
+  // the merge charge stays tiny: the device axis must flip the plan to a
+  // multi-device candidate, and more cards must keep predicting faster.
+  Workload w = basic_workload();
+  w.episode_count = 15'600;
+  w.level = 3;
+  PlannerOptions options = deterministic_options();
+  options.device_sweep = {1, 2, 4};
+  const Plan plan = plan_level(w, options);
+
+  ASSERT_TRUE(plan.winner().feasible);
+  EXPECT_EQ(plan.winner().config.kind, BackendKind::kDistrib);
+  EXPECT_TRUE(plan.winner().config.distrib_gpu);
+  EXPECT_GT(plan.winner().config.threads, 1);
+
+  auto predicted = [&](const std::string& label) {
+    for (const ScoredCandidate& c : plan.table) {
+      if (c.config.label() == label) {
+        EXPECT_TRUE(c.feasible) << label;
+        return c.predicted_ms;
+      }
+    }
+    ADD_FAILURE() << label << " missing from the table";
+    return 0.0;
+  };
+  EXPECT_LT(predicted("distrib-gpu-x4"), predicted("distrib-gpu-x2"));
+  EXPECT_LT(predicted("distrib-gpu-x2"), predicted("distrib-gpu-x1"));
+  EXPECT_LT(predicted("distrib-x4"), predicted("distrib-x2"));
+}
+
+TEST(Planner, TinyShapesResistTheDeviceAxis) {
+  // On a small level-1 workload the per-shard spawn/merge overhead exceeds
+  // the scan itself: the winner must stay a single-device formulation.
+  Workload w;
+  w.db_size = 2'000;
+  w.episode_count = 26;
+  w.level = 1;
+  w.alphabet_size = 26;
+  PlannerOptions options = deterministic_options();
+  options.device_sweep = {1, 2, 4, 8};
+  const Plan plan = plan_level(w, options);
+  ASSERT_TRUE(plan.winner().feasible);
+  EXPECT_FALSE(plan.winner().config.kind == BackendKind::kDistrib &&
+               plan.winner().config.threads > 1)
+      << plan.winner().config.label();
+}
+
+TEST(Planner, PlannedDistribBackendsCountExactly) {
+  const auto alphabet = core::Alphabet(6);
+  const auto db = data::zipf_database(alphabet, 6'000, 1.0, 5);
+  const auto episodes = core::all_distinct_episodes(alphabet, 2);
+  const core::ExpiryPolicy expiry{21};
+  core::SerialCpuBackend reference;
+  core::CountRequest request;
+  request.database = db;
+  request.episodes = episodes;
+  request.expiry = expiry;
+  const auto expected = reference.count(request);
+
+  for (const bool gpu : {false, true}) {
+    CandidateConfig config;
+    config.kind = BackendKind::kDistrib;
+    config.threads = 3;
+    config.distrib_gpu = gpu;
+    config.threads_per_block = 128;
+    const auto backend = make_planned_backend(config, deterministic_options());
+    const std::string expected_name =
+        gpu ? "distrib-x3[gpusim]" : "distrib-x3[cpu-single-scan]";
+    EXPECT_EQ(backend->name(), expected_name);
+    const auto result = backend->count(request);
+    EXPECT_EQ(result.counts, expected.counts) << expected_name;
+    if (gpu) {
+      EXPECT_GT(result.simulated_kernel_ms, 0.0);
+    }
+  }
+}
+
+TEST(AutoBackend, MakeBackendSpellsDistribAndOpensTheDeviceAxis) {
+  service::BackendSpec spec;
+  spec.name = "distrib";
+  spec.shards = 3;
+  EXPECT_EQ(service::make_backend(spec)->name(), "distrib-x3[cpu-single-scan]");
+
+  spec.name = "distrib-gpu";
+  spec.shards = 0;  // defaults to the GX2's two dies
+  EXPECT_EQ(service::make_backend(spec)->name(), "distrib-x2[gpusim]");
+
+  spec.name = "auto";
+  spec.shards = 3;
+  const PlannerOptions options = service::planner_options_for(spec);
+  EXPECT_EQ(options.device_sweep, (std::vector<int>{1, 2, 3}));
+
+  const auto names = service::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "distrib"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "distrib-gpu"), names.end());
+}
+
 TEST(AutoBackend, MakeBackendSpellsAuto) {
-  bench::BackendSpec spec;
+  service::BackendSpec spec;
   spec.name = "auto";
   spec.threads = 2;
   spec.card = "8800";
-  const auto backend = bench::make_backend(spec);
+  const auto backend = service::make_backend(spec);
   ASSERT_NE(dynamic_cast<AutoBackend*>(backend.get()), nullptr);
   EXPECT_EQ(backend->max_level(), 0);  // CPU fallback keeps it unbounded
 
-  const auto names = bench::backend_names();
+  const auto names = service::backend_names();
   EXPECT_NE(std::find(names.begin(), names.end(), "auto"), names.end());
 }
 

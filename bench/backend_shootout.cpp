@@ -201,6 +201,7 @@ int run_planner_validation(const Options& opt, const gm::core::Alphabet& alphabe
 
   gm::bench::JsonWriter json;
   json.begin_object();
+  json.field("schema", "gm-bench-shootout/1");
   json.field("driver", "backend_shootout --validate-planner");
   json.key("workload").begin_object();
   json.field("db_size", opt.db_size)
@@ -446,6 +447,7 @@ int run_shard_sweep(const Options& opt, const gm::core::Alphabet& alphabet,
 
   gm::bench::JsonWriter json;
   json.begin_object();
+  json.field("schema", "gm-bench-scaling/1");
   json.field("driver", "backend_shootout --shard-sweep");
   json.key("workload").begin_object();
   json.field("db_size", opt.db_size)

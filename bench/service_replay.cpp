@@ -336,6 +336,7 @@ int main(int argc, char** argv) {
 
     bench::JsonWriter json;
     json.begin_object();
+    json.field("schema", "gm-bench-service/1");
     json.field("driver", "service_replay");
     json.key("workload").begin_object();
     json.field("db_size", opt.db_size)

@@ -1,0 +1,155 @@
+// Neuroscience scenario, streamed: live cascade alerting on a growing
+// multi-electrode recording.
+//
+// The offline half of the story (neuro_spike_mining) discovers firing
+// cascades after the experiment ends.  Here the recording is split: the
+// first half is mined offline to pick the cascades worth watching, then the
+// second half arrives as live append batches against a MiningSession with a
+// registered StreamingMonitor — every batch advances the counts by exactly
+// the new spikes, and threshold crossings surface as alerts while the
+// "experiment" is still running.  Mid-stream the session checkpoints its
+// monitors to a gm-checkpoint/1 JSON file and a second session restores from
+// it (the acquisition box rebooting), after which both must agree spike for
+// spike.  The final counts are verified against a from-scratch recount of
+// the whole recording.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/cpu_backend.hpp"
+#include "core/miner.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "service/checkpoint_store.hpp"
+#include "service/session.hpp"
+
+int main() {
+  using namespace gm;
+
+  const core::Alphabet neurons(20);
+  const std::vector<core::Episode> cascades = {
+      core::Episode({2, 11, 5}),   // stimulus -> relay -> motor
+      core::Episode({7, 3, 18}),
+      core::Episode({14, 9, 0}),
+  };
+
+  data::SpikeTrainConfig recording;
+  recording.size = 60'000;
+  recording.noise_rate = 0.85;
+  recording.max_jitter = 2;
+  recording.seed = 424242;
+  const data::SpikeTrain train = data::spike_train(neurons, cascades, recording);
+  const std::size_t half = train.events.size() / 2;
+  const core::ExpiryPolicy expiry{12};
+
+  std::cout << "Recording: " << train.events.size() << " spikes; mining the first " << half
+            << " offline, streaming the rest live\n";
+
+  // Offline pass over the first half: surface the cascades worth watching.
+  core::SerialCpuBackend serial;
+  core::MinerConfig config;
+  config.support_threshold = 0.002;
+  config.max_level = 3;
+  config.expiry = expiry;
+  const std::vector<core::Symbol> offline(train.events.begin(),
+                                          train.events.begin() + static_cast<std::ptrdiff_t>(half));
+  const core::MiningResult mined = core::mine_frequent_episodes(offline, neurons, serial, config);
+
+  std::vector<core::FrequentEpisode> level3;
+  for (const auto& f : mined.frequent) {
+    if (f.episode.level() == 3) level3.push_back(f);
+  }
+  std::sort(level3.begin(), level3.end(),
+            [](const auto& a, const auto& b) { return a.count > b.count; });
+  if (level3.size() < cascades.size()) {
+    std::cerr << "offline mining surfaced too few level-3 cascades\n";
+    return 1;
+  }
+
+  // Watch the top cascades; threshold halfway up their expected doubling, so
+  // the crossings land mid-stream.
+  service::MonitorSpec spec;
+  spec.name = "cascades";
+  spec.expiry = expiry;
+  std::cout << "\nWatching the top " << cascades.size() << " mined cascades:\n";
+  for (std::size_t i = 0; i < cascades.size(); ++i) {
+    spec.episodes.push_back(level3[i].episode);
+    spec.threshold = std::max(spec.threshold, level3[i].count + level3[i].count / 2);
+    std::cout << "  " << level3[i].episode.to_string(neurons) << "  offline count "
+              << level3[i].count << "\n";
+  }
+  std::cout << "Alert threshold: " << spec.threshold << " occurrences\n";
+
+  service::MiningSession session(
+      data::Dataset{neurons, offline},
+      service::SessionOptions{.backend = {.name = "serial"}});
+  (void)session.register_monitor(spec);
+
+  // Stream the second half in acquisition-sized batches; reboot mid-stream.
+  const std::string checkpoint_path = "neuro_spike_monitors.json";
+  constexpr std::size_t kBatch = 2'000;
+  std::vector<service::Alert> alerts;
+  std::unique_ptr<service::MiningSession> rebooted;
+  std::size_t fed = half;
+  int batch_index = 0;
+  const int total_batches = static_cast<int>((train.events.size() - half + kBatch - 1) / kBatch);
+  while (fed < train.events.size()) {
+    const std::size_t n = std::min(kBatch, train.events.size() - fed);
+    const std::span<const core::Symbol> batch{train.events.data() + fed, n};
+    const auto outcome = session.append_events(batch);
+    for (const auto& alert : outcome.alerts) {
+      std::cout << "ALERT at spike " << alert.position << ": "
+                << spec.episodes[alert.episode_index].to_string(neurons) << " reached "
+                << alert.count << "\n";
+    }
+    alerts.insert(alerts.end(), outcome.alerts.begin(), outcome.alerts.end());
+    if (rebooted) {
+      const auto twin = rebooted->append_events(batch);
+      if (twin.alerts.size() != outcome.alerts.size() ||
+          rebooted->monitor_counts("cascades") != session.monitor_counts("cascades")) {
+        std::cerr << "restored session diverged from the live one\n";
+        return 1;
+      }
+    }
+    fed += n;
+    ++batch_index;
+    if (!rebooted && batch_index == total_batches / 2) {
+      // "Reboot": persist the monitors, then restore them into a fresh
+      // session over the stream as it stands.  The restore verifies the
+      // stream-prefix digest, so resuming against the wrong recording throws.
+      service::save_monitors_file(checkpoint_path, session.monitor_snapshots());
+      std::cout << "-- checkpointed " << fed << " spikes to " << checkpoint_path
+                << ", restoring into a fresh session --\n";
+      rebooted = std::make_unique<service::MiningSession>(
+          data::Dataset{neurons, {train.events.begin(),
+                                  train.events.begin() + static_cast<std::ptrdiff_t>(fed)}},
+          service::SessionOptions{.backend = {.name = "serial"}});
+      for (const auto& snapshot : service::load_monitors_file(checkpoint_path)) {
+        (void)rebooted->restore_monitor(snapshot);
+      }
+    }
+  }
+  std::remove(checkpoint_path.c_str());
+
+  // Ground truth: a from-scratch recount of the whole recording.
+  const auto recount =
+      core::count_all(spec.episodes, train.events, spec.semantics, spec.expiry);
+  if (session.monitor_counts("cascades") != recount) {
+    std::cerr << "streamed counts diverged from the full recount\n";
+    return 1;
+  }
+
+  std::cout << "\nFinal counts (streamed == recount, verified):\n";
+  for (std::size_t i = 0; i < spec.episodes.size(); ++i) {
+    std::cout << "  " << spec.episodes[i].to_string(neurons) << "  count " << recount[i] << "\n";
+  }
+
+  std::vector<bool> alerted(spec.episodes.size(), false);
+  for (const auto& alert : alerts) alerted[alert.episode_index] = true;
+  const auto fired = static_cast<std::size_t>(
+      std::count(alerted.begin(), alerted.end(), true));
+  std::cout << fired << "/" << spec.episodes.size()
+            << " watched cascades crossed their threshold live\n";
+  return fired == spec.episodes.size() ? 0 : 1;
+}

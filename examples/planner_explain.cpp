@@ -161,6 +161,7 @@ int main(int argc, char** argv) {
 
     gm::bench::JsonWriter json;
     json.begin_object();
+    json.field("schema", "gm-bench-planner/1");
     json.field("driver", "planner_explain");
     json.field("card", card);
     json.field("cpu_threads", gm::core::resolved_thread_count(threads));

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <numeric>
 #include <queue>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -169,6 +171,15 @@ struct Deadline {
   friend bool operator>(const Deadline& a, const Deadline& b) { return a.at > b.at; }
 };
 
+// Saturating first_pos + window: restored checkpoints carry user-supplied
+// windows the database-size clamp never saw, and a deadline at int64 max
+// never fires — exactly like any window longer than the remaining stream.
+std::int64_t deadline_at(std::int64_t first_pos, std::int64_t window) {
+  return first_pos > std::numeric_limits<std::int64_t>::max() - window
+             ? std::numeric_limits<std::int64_t>::max()
+             : first_pos + window;
+}
+
 }  // namespace
 
 struct TrieCounter::Impl {
@@ -217,7 +228,7 @@ struct TrieCounter::Impl {
       return;
     }
     if (expiry.enabled()) {
-      deadlines.push({token.first_pos + expiry.window, id, token.gen});
+      deadlines.push({deadline_at(token.first_pos, expiry.window), id, token.gen});
       ++ops.heap_ops;
     }
     // Children and member intervals are both ordered by sorted-episode index,
@@ -344,6 +355,106 @@ void TrieCounter::advance_sparse(Symbol symbol, std::int64_t pos) {
     im.arrive(id, *trie_, expiry_, ops_);
   }
   im.scratch.clear();
+}
+
+void TrieCounter::restore(std::span<const EpisodeProgress> progress) {
+  if (trie_ == nullptr) {
+    gm::expects(progress.size() == dense_automata_.size(),
+                "progress list must match the episode list");
+    for (std::size_t i = 0; i < progress.size(); ++i) {
+      dense_automata_[i].restore(progress[i].state, progress[i].first_pos);
+      dense_counts_[i] = progress[i].count;
+    }
+    return;
+  }
+  Impl& im = *impl_;
+  gm::expects(progress.size() == im.counts.size(), "progress list must match the episode list");
+  for (auto& bucket : im.buckets) bucket.clear();
+  for (auto& set : im.idle) set.clear();
+  im.deadlines = {};
+  im.tokens.clear();
+  im.free_tokens.clear();
+
+  // The capture may come from a differently-grouped engine (the flat
+  // single-scan counter, or a trie counter that split tokens along another
+  // history), so tokens are rebuilt from scratch: every in-flight episode
+  // walks its spine down to depth == state, and episodes landing on the same
+  // (node, first_pos) merge into one token — same matched prefix, same match
+  // start means lockstep forever after, so the grouping cannot change counts.
+  const std::span<const std::uint32_t> order = trie_->order();
+  std::map<std::pair<std::uint32_t, std::int64_t>, std::uint32_t> groups;
+  for (std::uint32_t k = 0; k < static_cast<std::uint32_t>(order.size()); ++k) {
+    const EpisodeProgress& p = progress[order[k]];
+    im.counts[k] = p.count;
+    gm::expects(p.state >= 0, "restored state outside the episode's automaton");
+    // Walk by subtree containment: the child covering sorted index k is the
+    // next node on this episode's spine.  Children sorted by symbol are also
+    // sorted by `lo` (lexicographic order), so binary search applies.  The
+    // walk runs out of children exactly when state >= the episode's length,
+    // which doubles as the range validation.
+    std::uint32_t node = 0;
+    for (int d = 0; d < p.state; ++d) {
+      const auto& children = trie_->node(node).children;
+      const auto it = std::partition_point(
+          children.begin(), children.end(),
+          [&](const EpisodeTrie::Edge& e) { return trie_->node(e.node).hi <= k; });
+      gm::expects(it != children.end() && trie_->node(it->node).lo <= k,
+                  "restored state outside the episode's automaton");
+      node = it->node;
+    }
+    if (p.state == 0) {
+      const auto& children = trie_->root().children;
+      const auto it = std::partition_point(
+          children.begin(), children.end(),
+          [&](const EpisodeTrie::Edge& e) { return trie_->node(e.node).hi <= k; });
+      im.idle[it->symbol].push_back({k, k + 1});
+      continue;
+    }
+    const auto [group, inserted] = groups.try_emplace({node, p.first_pos}, 0u);
+    if (inserted) {
+      const std::uint32_t id = im.acquire();
+      group->second = id;
+      im.tokens[id].node = node;
+      im.tokens[id].first_pos = p.first_pos;
+    }
+    auto& members = im.tokens[group->second].members;
+    if (!members.empty() && members.back().hi == k) {
+      members.back().hi = k + 1;  // k ascends, so runs coalesce in place
+    } else {
+      members.push_back({k, k + 1});
+    }
+  }
+  for (auto& set : im.idle) normalize(set);
+  // No member can be a terminal of its node (state < level always, since the
+  // automaton resets on accept), so arrive() only files and arms deadlines.
+  for (const auto& [key, id] : groups) im.arrive(id, *trie_, expiry_, ops_);
+}
+
+std::vector<EpisodeProgress> TrieCounter::progress() const {
+  if (trie_ == nullptr) {
+    std::vector<EpisodeProgress> out;
+    out.reserve(dense_automata_.size());
+    for (std::size_t a = 0; a < dense_automata_.size(); ++a) {
+      out.push_back({dense_counts_[a], dense_automata_[a].first_match_pos(),
+                     dense_automata_[a].state()});
+    }
+    return out;
+  }
+  const Impl& im = *impl_;
+  const std::span<const std::uint32_t> order = trie_->order();
+  std::vector<EpisodeProgress> out(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) out[order[k]] = {im.counts[k], 0, 0};
+  for (const Token& token : im.tokens) {
+    if (token.members.empty()) continue;  // released onto the free list
+    const std::int32_t depth = trie_->node(token.node).depth;
+    for (const Interval& iv : token.members) {
+      for (std::uint32_t k = iv.lo; k < iv.hi; ++k) {
+        out[order[k]].first_pos = token.first_pos;
+        out[order[k]].state = depth;
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<std::int64_t> TrieCounter::counts() const {

@@ -38,6 +38,7 @@
 
 #include "core/automaton.hpp"
 #include "core/episode.hpp"
+#include "core/multi_counter.hpp"
 
 namespace gm::core {
 
@@ -115,6 +116,18 @@ class TrieCounter {
   ~TrieCounter();
 
   void advance(Symbol symbol, std::int64_t pos);
+
+  /// Reinstate captured per-episode progress (ORIGINAL input order, parallel
+  /// to the construction episode list); must be called before the first
+  /// advance().  In-flight episodes regroup into shared-prefix tokens — two
+  /// episodes with the same matched prefix and first-match position are in
+  /// lockstep by definition, so the regrouped engine continues bit-exactly.
+  void restore(std::span<const EpisodeProgress> progress);
+
+  /// Per-episode scan configuration in the ORIGINAL input order, sufficient
+  /// to restore() into a fresh counter (an episode's state is its token's
+  /// trie depth; idle episodes report state 0).
+  [[nodiscard]] std::vector<EpisodeProgress> progress() const;
 
   /// Per-episode counts in the ORIGINAL input order.
   [[nodiscard]] std::vector<std::int64_t> counts() const;

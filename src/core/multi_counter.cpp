@@ -34,76 +34,38 @@ struct Deadline {
   friend bool operator>(const Deadline& a, const Deadline& b) { return a.at > b.at; }
 };
 
-// Dense fallback: step every automaton on every symbol.  Used for
-// kContiguousRestart, whose mismatch edges let any symbol transition any
-// in-flight automaton, defeating a waiting-symbol index.  Still a single
-// database read, unlike the per-episode rescans of count_all.
-std::vector<std::int64_t> count_dense(std::span<const Episode> episodes,
-                                      std::span<const Symbol> database, Semantics semantics,
-                                      ExpiryPolicy expiry, std::vector<ScanExit>* exits) {
-  std::vector<EpisodeAutomaton> automata;
-  automata.reserve(episodes.size());
-  for (const auto& e : episodes) automata.emplace_back(e.symbols(), semantics, expiry);
-  std::vector<std::int64_t> counts(episodes.size(), 0);
-  for (std::size_t i = 0; i < database.size(); ++i) {
-    const Symbol s = database[i];
-    const auto pos = static_cast<std::int64_t>(i);
-    for (std::size_t a = 0; a < automata.size(); ++a) {
-      if (automata[a].step(s, pos)) ++counts[a];
-    }
-  }
-  if (exits != nullptr) {
-    exits->assign(episodes.size(), {});
-    for (std::size_t a = 0; a < automata.size(); ++a) {
-      (*exits)[a] = {automata[a].state(), automata[a].first_match_pos()};
-    }
-  }
-  return counts;
+// Deadlines are first_pos + window with a user-supplied window, so saturate
+// instead of overflowing: a deadline at int64 max never fires, exactly like
+// any window longer than the remaining stream.
+std::int64_t deadline_at(std::int64_t first_pos, std::int64_t window) {
+  return first_pos > std::numeric_limits<std::int64_t>::max() - window
+             ? std::numeric_limits<std::int64_t>::max()
+             : first_pos + window;
 }
 
-std::vector<std::int64_t> count_all_single_scan_impl(std::span<const Episode> episodes,
-                                                     std::span<const Symbol> database,
-                                                     Semantics semantics, ExpiryPolicy expiry,
-                                                     std::vector<ScanExit>* exits) {
-  for (const auto& e : episodes) gm::expects(!e.empty(), "cannot count an empty episode");
-  if (episodes.empty()) {
-    if (exits != nullptr) exits->clear();
-    return {};
-  }
-  gm::expects(episodes.size() <= std::numeric_limits<std::uint32_t>::max(),
-              "too many episodes for the single-scan index");
+}  // namespace
 
-  if (semantics == Semantics::kContiguousRestart) {
-    return count_dense(episodes, database, semantics, expiry, exits);
-  }
+// Engine state behind MultiCounter.  The dense path (kContiguousRestart,
+// whose mismatch edges let any symbol transition any in-flight automaton and
+// so defeat a waiting-symbol index) keeps one automaton per episode; the
+// sparse path keeps the symbol -> waiting-slot bucket index.
+struct MultiCounter::Impl {
+  Semantics semantics = Semantics::kNonOverlappedSubsequence;
+  ExpiryPolicy expiry;
 
-  // Deadlines are computed as first_pos + window, so clamp huge user-supplied
-  // windows to the database size before they can overflow: any window >= |DB|
-  // behaves identically (pos - first_pos never reaches it inside the scan,
-  // exactly as in the serial automaton's subtraction form).
-  if (expiry.enabled()) {
-    expiry.window =
-        std::min(expiry.window, static_cast<std::int64_t>(database.size()));
-  }
-
+  // Sparse path.
   std::vector<Slot> slots;
-  slots.reserve(episodes.size());
-  // Symbol is 8-bit, so a direct-mapped bucket table covers every alphabet.
-  std::vector<std::vector<BucketEntry>> buckets(256);
-  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(episodes.size()); ++i) {
-    Slot slot;
-    slot.episode = episodes[i].symbols();
-    slots.push_back(slot);
-    buckets[slots[i].episode[0]].push_back({i, 0});
-  }
-
+  std::vector<std::vector<BucketEntry>> buckets;  // direct-mapped: Symbol is 8-bit
   std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> deadlines;
   std::vector<BucketEntry> scratch;
 
-  for (std::size_t i = 0; i < database.size(); ++i) {
-    const Symbol s = database[i];
-    const auto pos = static_cast<std::int64_t>(i);
+  // Dense fallback.
+  std::vector<EpisodeAutomaton> dense_automata;
+  std::vector<std::int64_t> dense_counts;
 
+  [[nodiscard]] bool dense() const { return !dense_automata.empty(); }
+
+  void advance_sparse(Symbol s, std::int64_t pos) {
     // Expire matches that can no longer finish by this position: the serial
     // automaton resets them at step time, so they must be back in their
     // episode[0] bucket before this symbol is dispatched.
@@ -112,7 +74,7 @@ std::vector<std::int64_t> count_all_single_scan_impl(std::span<const Episode> ep
         const Deadline d = deadlines.top();
         deadlines.pop();
         Slot& slot = slots[d.slot];
-        if (slot.state > 0 && slot.first_pos + expiry.window == d.at) {
+        if (slot.state > 0 && deadline_at(slot.first_pos, expiry.window) == d.at) {
           slot.state = 0;
           ++slot.gen;  // the entry still filed under the old awaited symbol dies
           buckets[slot.episode[0]].push_back({d.slot, slot.gen});
@@ -121,7 +83,7 @@ std::vector<std::int64_t> count_all_single_scan_impl(std::span<const Episode> ep
     }
 
     auto& bucket = buckets[s];
-    if (bucket.empty()) continue;
+    if (bucket.empty()) return;
     // Swap the bucket out before advancing: an automaton whose next awaited
     // symbol is also `s` (repeated-symbol episode) must re-file for the NEXT
     // occurrence, not be stepped twice on this one.
@@ -134,7 +96,7 @@ std::vector<std::int64_t> count_all_single_scan_impl(std::span<const Episode> ep
         // Level-1 episodes complete in this same step, so a deadline could
         // never fire usefully — don't flood the heap with one per match.
         if (expiry.enabled() && slot.episode.size() > 1) {
-          deadlines.push({pos + expiry.window, entry.slot});
+          deadlines.push({deadline_at(pos, expiry.window), entry.slot});
         }
       }
       ++slot.state;
@@ -148,32 +110,140 @@ std::vector<std::int64_t> count_all_single_scan_impl(std::span<const Episode> ep
     }
     scratch.clear();
   }
+};
 
-  std::vector<std::int64_t> counts;
-  counts.reserve(slots.size());
-  for (const Slot& slot : slots) counts.push_back(slot.count);
-  if (exits != nullptr) {
-    exits->assign(slots.size(), {});
-    for (std::size_t a = 0; a < slots.size(); ++a) {
-      (*exits)[a] = {slots[a].state, slots[a].first_pos};
+MultiCounter::MultiCounter(std::span<const Episode> episodes, Semantics semantics,
+                           ExpiryPolicy expiry)
+    : impl_(std::make_unique<Impl>()) {
+  for (const auto& e : episodes) gm::expects(!e.empty(), "cannot count an empty episode");
+  gm::expects(episodes.size() <= std::numeric_limits<std::uint32_t>::max(),
+              "too many episodes for the single-scan index");
+  impl_->semantics = semantics;
+  impl_->expiry = expiry;
+
+  if (semantics == Semantics::kContiguousRestart) {
+    impl_->dense_automata.reserve(episodes.size());
+    for (const auto& e : episodes) {
+      impl_->dense_automata.emplace_back(e.symbols(), semantics, expiry);
+    }
+    impl_->dense_counts.assign(episodes.size(), 0);
+    return;
+  }
+
+  impl_->buckets.resize(256);
+  impl_->slots.reserve(episodes.size());
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(episodes.size()); ++i) {
+    Slot slot;
+    slot.episode = episodes[i].symbols();
+    impl_->slots.push_back(slot);
+    impl_->buckets[impl_->slots[i].episode[0]].push_back({i, 0});
+  }
+}
+
+MultiCounter::MultiCounter(MultiCounter&&) noexcept = default;
+MultiCounter& MultiCounter::operator=(MultiCounter&&) noexcept = default;
+MultiCounter::~MultiCounter() = default;
+
+void MultiCounter::restore(std::span<const EpisodeProgress> progress) {
+  Impl& im = *impl_;
+  if (im.dense()) {
+    gm::expects(progress.size() == im.dense_automata.size(),
+                "progress list must match the episode list");
+    for (std::size_t i = 0; i < progress.size(); ++i) {
+      im.dense_automata[i].restore(progress[i].state, progress[i].first_pos);
+      im.dense_counts[i] = progress[i].count;
+    }
+    return;
+  }
+  gm::expects(progress.size() == im.slots.size(), "progress list must match the episode list");
+  for (auto& bucket : im.buckets) bucket.clear();
+  gm::expects(im.deadlines.empty(), "restore() must precede the first advance()");
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(im.slots.size()); ++i) {
+    Slot& slot = im.slots[i];
+    const EpisodeProgress& p = progress[i];
+    gm::expects(p.state >= 0 && p.state < static_cast<int>(slot.episode.size()),
+                "restored state outside the episode's automaton");
+    slot.count = p.count;
+    slot.state = p.state;
+    slot.first_pos = p.first_pos;
+    im.buckets[slot.episode[static_cast<std::size_t>(slot.state)]].push_back({i, slot.gen});
+    if (slot.state > 0 && im.expiry.enabled()) {
+      im.deadlines.push({deadline_at(slot.first_pos, im.expiry.window), i});
     }
   }
+}
+
+void MultiCounter::advance(Symbol symbol, std::int64_t pos) {
+  Impl& im = *impl_;
+  if (im.dense()) {
+    for (std::size_t a = 0; a < im.dense_automata.size(); ++a) {
+      if (im.dense_automata[a].step(symbol, pos)) ++im.dense_counts[a];
+    }
+    return;
+  }
+  im.advance_sparse(symbol, pos);
+}
+
+std::vector<std::int64_t> MultiCounter::counts() const {
+  const Impl& im = *impl_;
+  if (im.dense()) return im.dense_counts;
+  std::vector<std::int64_t> counts;
+  counts.reserve(im.slots.size());
+  for (const Slot& slot : im.slots) counts.push_back(slot.count);
   return counts;
 }
 
-}  // namespace
+std::vector<EpisodeProgress> MultiCounter::progress() const {
+  const Impl& im = *impl_;
+  std::vector<EpisodeProgress> progress;
+  if (im.dense()) {
+    progress.reserve(im.dense_automata.size());
+    for (std::size_t a = 0; a < im.dense_automata.size(); ++a) {
+      progress.push_back({im.dense_counts[a], im.dense_automata[a].first_match_pos(),
+                          im.dense_automata[a].state()});
+    }
+    return progress;
+  }
+  progress.reserve(im.slots.size());
+  for (const Slot& slot : im.slots) {
+    progress.push_back({slot.count, slot.first_pos, slot.state});
+  }
+  return progress;
+}
+
+std::size_t MultiCounter::episode_count() const {
+  return impl_->dense() ? impl_->dense_automata.size() : impl_->slots.size();
+}
 
 std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
                                                 std::span<const Symbol> database,
                                                 Semantics semantics, ExpiryPolicy expiry) {
-  return count_all_single_scan_impl(episodes, database, semantics, expiry, nullptr);
+  if (episodes.empty()) return {};
+  MultiCounter counter(episodes, semantics, expiry);
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    counter.advance(database[i], static_cast<std::int64_t>(i));
+  }
+  return counter.counts();
 }
 
 std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
                                                 std::span<const Symbol> database,
                                                 Semantics semantics, ExpiryPolicy expiry,
                                                 std::vector<ScanExit>& exits) {
-  return count_all_single_scan_impl(episodes, database, semantics, expiry, &exits);
+  if (episodes.empty()) {
+    exits.clear();
+    return {};
+  }
+  MultiCounter counter(episodes, semantics, expiry);
+  for (std::size_t i = 0; i < database.size(); ++i) {
+    counter.advance(database[i], static_cast<std::int64_t>(i));
+  }
+  const std::vector<EpisodeProgress> progress = counter.progress();
+  exits.assign(progress.size(), {});
+  for (std::size_t a = 0; a < progress.size(); ++a) {
+    exits[a] = {progress[a].state, progress[a].first_pos};
+  }
+  return counter.counts();
 }
 
 }  // namespace gm::core

@@ -21,9 +21,16 @@
 // mismatch edges mean *every* symbol can transition any in-flight automaton,
 // so a waiting-symbol index cannot skip work.  The dense path still reads the
 // database once, stepping each automaton per symbol.
+//
+// The engine is exposed two ways: the one-shot `count_all_single_scan`
+// functions scan a complete span, and the incremental `MultiCounter` class
+// feeds one symbol at a time — the resumable object behind streaming scan
+// checkpoints (core/scan_checkpoint.hpp), whose per-episode progress can be
+// captured mid-stream and reinstated later to continue bit-exactly.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -54,5 +61,54 @@ struct ScanExit {
 [[nodiscard]] std::vector<std::int64_t> count_all_single_scan(
     std::span<const Episode> episodes, std::span<const Symbol> database, Semantics semantics,
     ExpiryPolicy expiry, std::vector<ScanExit>& exits);
+
+/// One episode's complete scan configuration: the automaton state (matched
+/// symbols + absolute first-match position) plus the occurrences accumulated
+/// so far.  This is the per-episode unit a ScanCheckpoint persists — the
+/// serial automaton's future depends on nothing else, which is what makes
+/// captured scans resumable bit-exactly.
+struct EpisodeProgress {
+  std::int64_t count = 0;
+  std::int64_t first_pos = 0;
+  int state = 0;
+
+  friend bool operator==(const EpisodeProgress&, const EpisodeProgress&) = default;
+};
+
+/// Incremental single-scan engine: feed the stream one symbol at a time via
+/// `advance()` with absolute positions, capture `progress()` at any point,
+/// and `restore()` it into a fresh counter to continue exactly where the
+/// captured scan stopped.  Unlike the one-shot functions, expiry deadlines
+/// use saturating arithmetic instead of a database-size clamp, so the engine
+/// never needs to know the eventual stream length (behaviour is identical:
+/// any window at least as long as the remaining stream can never fire).
+class MultiCounter {
+ public:
+  /// `episodes` is viewed, not copied — the caller keeps it alive.
+  MultiCounter(std::span<const Episode> episodes, Semantics semantics, ExpiryPolicy expiry);
+  MultiCounter(MultiCounter&&) noexcept;
+  MultiCounter& operator=(MultiCounter&&) noexcept;
+  ~MultiCounter();
+
+  /// Reinstate captured per-episode progress (parallel to the construction
+  /// episode list).  Must be called before the first advance(); in-flight
+  /// matches re-arm their expiry deadlines from the restored first_pos.
+  void restore(std::span<const EpisodeProgress> progress);
+
+  /// Feed the symbol at absolute position `pos` (strictly increasing).
+  void advance(Symbol symbol, std::int64_t pos);
+
+  /// Per-episode counts in construction order.
+  [[nodiscard]] std::vector<std::int64_t> counts() const;
+
+  /// Per-episode scan configuration, sufficient to restore() later.
+  [[nodiscard]] std::vector<EpisodeProgress> progress() const;
+
+  [[nodiscard]] std::size_t episode_count() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace gm::core

@@ -1,0 +1,102 @@
+#include "core/scan_checkpoint.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gm::core {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+std::uint64_t stream_digest_seed() { return kFnvOffset; }
+
+std::uint64_t stream_digest_extend(std::uint64_t digest, std::span<const Symbol> events) {
+  for (const Symbol s : events) {
+    digest ^= static_cast<std::uint64_t>(s);
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+StreamScan::StreamScan(std::vector<Episode> episodes, Semantics semantics, ExpiryPolicy expiry,
+                       ScanEngine engine)
+    : episodes_(std::move(episodes)),
+      semantics_(semantics),
+      expiry_(expiry),
+      engine_(engine),
+      prefix_digest_(stream_digest_seed()) {
+  if (engine_ == ScanEngine::kTrie) {
+    // int64 max disables the trie's database-size window clamp — a streaming
+    // scan cannot know the eventual stream length, and deadline arithmetic
+    // saturates, so any window longer than the remaining stream simply never
+    // fires (identical counts).
+    trie_.emplace(episodes_, semantics_, expiry_, std::numeric_limits<std::int64_t>::max());
+  } else {
+    flat_.emplace(episodes_, semantics_, expiry_);
+  }
+}
+
+StreamScan::StreamScan(const ScanCheckpoint& checkpoint, ScanEngine engine)
+    : StreamScan(checkpoint.episodes, checkpoint.semantics, checkpoint.expiry, engine) {
+  gm::expects(checkpoint.progress.size() == checkpoint.episodes.size(),
+              "checkpoint progress must be parallel to its episode list");
+  gm::expects(checkpoint.high_water >= 0, "checkpoint high-water mark cannot be negative");
+  for (std::size_t i = 0; i < checkpoint.progress.size(); ++i) {
+    const EpisodeProgress& p = checkpoint.progress[i];
+    gm::expects(p.state >= 0 &&
+                    p.state < static_cast<int>(checkpoint.episodes[i].symbols().size()),
+                "restored state outside the episode's automaton");
+    gm::expects(p.state == 0 || (p.first_pos >= 0 && p.first_pos < checkpoint.high_water),
+                "in-flight match starts at or beyond the checkpoint high-water mark");
+  }
+  high_water_ = checkpoint.high_water;
+  prefix_digest_ = checkpoint.prefix_digest;
+  if (trie_.has_value()) {
+    trie_->restore(checkpoint.progress);
+  } else {
+    flat_->restore(checkpoint.progress);
+  }
+}
+
+StreamScan::StreamScan(StreamScan&&) noexcept = default;
+StreamScan& StreamScan::operator=(StreamScan&&) noexcept = default;
+StreamScan::~StreamScan() = default;
+
+void StreamScan::feed(std::span<const Symbol> events) {
+  if (trie_.has_value()) {
+    for (const Symbol s : events) trie_->advance(s, high_water_++);
+  } else {
+    for (const Symbol s : events) flat_->advance(s, high_water_++);
+  }
+  prefix_digest_ = stream_digest_extend(prefix_digest_, events);
+}
+
+ScanCheckpoint StreamScan::checkpoint(std::uint64_t generation) const {
+  ScanCheckpoint out;
+  out.semantics = semantics_;
+  out.expiry = expiry_;
+  out.high_water = high_water_;
+  out.prefix_digest = prefix_digest_;
+  out.generation = generation;
+  out.episodes = episodes_;
+  out.progress = trie_.has_value() ? trie_->progress() : flat_->progress();
+  return out;
+}
+
+std::vector<std::int64_t> StreamScan::counts() const {
+  return trie_.has_value() ? trie_->counts() : flat_->counts();
+}
+
+std::vector<std::int64_t> resume_scan(const ScanCheckpoint& checkpoint,
+                                      std::span<const Symbol> new_events, ScanEngine engine) {
+  StreamScan scan(checkpoint, engine);
+  scan.feed(new_events);
+  return scan.counts();
+}
+
+}  // namespace gm::core

@@ -1,0 +1,127 @@
+// Resumable scan checkpoints: pause a multi-episode counting scan anywhere in
+// the stream, serialize it, and continue later bit-exactly.
+//
+// Why this is possible at all: a serial episode automaton's future depends
+// only on (state, first_match_pos) — expiry is evaluated at step time from
+// first_pos, never from hidden timers — so a scan over N episodes is fully
+// determined by N `EpisodeProgress` records plus the next stream position.
+// That capture is engine-agnostic: progress taken from the flat single-scan
+// engine restores into the shared-prefix trie engine and vice versa, because
+// both are bit-exact re-groupings of the same N serial automata.
+//
+// A `ScanCheckpoint` bundles the progress records with everything needed to
+// refuse a bogus resume: the scan parameters (semantics + expiry), the
+// episode list itself, the event high-water mark (count of consumed events ==
+// the next absolute position), a running FNV-1a digest of the consumed
+// prefix, and the caller's database generation.  `StreamScan` is the live
+// object: construct fresh or from a checkpoint, `feed()` event batches as
+// they arrive, `checkpoint()` at any batch boundary.
+//
+// Mid-window captures are first-class: an in-flight match whose expiry
+// deadline lies beyond the checkpoint re-arms on restore from its absolute
+// first_pos, so a window straddling the pause fires at exactly the position
+// it would have in an uninterrupted scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/episode.hpp"
+#include "core/episode_trie.hpp"
+#include "core/multi_counter.hpp"
+
+namespace gm::core {
+
+/// Which incremental engine drives the scan.  Checkpoints do not record this:
+/// a capture from either engine restores into either engine.
+enum class ScanEngine {
+  kSingleScan,  // flat symbol -> waiting-automata index (core/multi_counter)
+  kTrie,        // shared-prefix token engine (core/episode_trie)
+};
+
+/// A paused scan, serializable and engine-agnostic.  `high_water` is the
+/// number of events consumed so far (== the absolute position the next fed
+/// event must carry); `prefix_digest` is FNV-1a over those events' symbols,
+/// so a resume against a database whose retained prefix changed is refused
+/// by callers that track digests; `generation` is whatever database version
+/// tag the caller wants round-tripped (the service layer stores its session
+/// generation here).
+struct ScanCheckpoint {
+  Semantics semantics = Semantics::kNonOverlappedSubsequence;
+  ExpiryPolicy expiry;
+  std::int64_t high_water = 0;
+  std::uint64_t prefix_digest = 0;
+  std::uint64_t generation = 0;
+  std::vector<Episode> episodes;
+  std::vector<EpisodeProgress> progress;  // parallel to `episodes`
+};
+
+/// FNV-1a seed for an empty event prefix.
+[[nodiscard]] std::uint64_t stream_digest_seed();
+
+/// Extends a running FNV-1a event digest by one batch.  Chunked digesting is
+/// associative-by-concatenation: digesting a stream in any batching yields
+/// the same value as one pass.
+[[nodiscard]] std::uint64_t stream_digest_extend(std::uint64_t digest,
+                                                 std::span<const Symbol> events);
+
+/// Incremental multi-episode scan with capture/resume.  Owns its episode
+/// list, so checkpoints and the object itself outlive the caller's storage.
+class StreamScan {
+ public:
+  /// A fresh scan positioned before the first event.
+  StreamScan(std::vector<Episode> episodes, Semantics semantics, ExpiryPolicy expiry,
+             ScanEngine engine = ScanEngine::kSingleScan);
+
+  /// Continues a captured scan on either engine.  Validates internal
+  /// consistency (progress parallel to episodes, states inside each
+  /// episode's automaton, in-flight first positions before the high-water
+  /// mark); database prefix identity is the caller's check via
+  /// `prefix_digest()`.
+  explicit StreamScan(const ScanCheckpoint& checkpoint,
+                      ScanEngine engine = ScanEngine::kSingleScan);
+
+  StreamScan(StreamScan&&) noexcept;
+  StreamScan& operator=(StreamScan&&) noexcept;
+  ~StreamScan();
+
+  /// Consumes the next batch of events; positions continue from the
+  /// high-water mark, so feeding a stream in any batching is bit-exact with
+  /// one uninterrupted scan.
+  void feed(std::span<const Symbol> events);
+
+  /// Captures the paused scan.  `generation` is round-tripped verbatim.
+  [[nodiscard]] ScanCheckpoint checkpoint(std::uint64_t generation = 0) const;
+
+  /// Per-episode occurrence counts over everything fed so far, in episode
+  /// order — exactly `count_occurrences(episodes[i], prefix, ...)`.
+  [[nodiscard]] std::vector<std::int64_t> counts() const;
+
+  [[nodiscard]] std::span<const Episode> episodes() const { return episodes_; }
+  [[nodiscard]] Semantics semantics() const { return semantics_; }
+  [[nodiscard]] ExpiryPolicy expiry() const { return expiry_; }
+  [[nodiscard]] ScanEngine engine() const { return engine_; }
+  [[nodiscard]] std::int64_t high_water() const { return high_water_; }
+  [[nodiscard]] std::uint64_t prefix_digest() const { return prefix_digest_; }
+
+ private:
+  std::vector<Episode> episodes_;
+  Semantics semantics_ = Semantics::kNonOverlappedSubsequence;
+  ExpiryPolicy expiry_;
+  ScanEngine engine_ = ScanEngine::kSingleScan;
+  std::int64_t high_water_ = 0;
+  std::uint64_t prefix_digest_ = 0;
+  std::optional<MultiCounter> flat_;
+  std::optional<TrieCounter> trie_;
+};
+
+/// One-shot resume: restores `checkpoint`, feeds `new_events`, and returns
+/// the per-episode counts over prefix + new_events.  Bit-exact with a full
+/// recount of the concatenated stream, for every semantics and expiry.
+[[nodiscard]] std::vector<std::int64_t> resume_scan(
+    const ScanCheckpoint& checkpoint, std::span<const Symbol> new_events,
+    ScanEngine engine = ScanEngine::kSingleScan);
+
+}  // namespace gm::core

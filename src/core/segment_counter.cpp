@@ -151,15 +151,29 @@ std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantic
                              std::span<const std::int64_t> bounds,
                              std::span<const SegmentOutcome> cold,
                              std::int64_t* rescanned_symbols) {
-  gm::expects(bounds.size() >= 2 && bounds.front() == 0 &&
-                  bounds.back() == static_cast<std::int64_t>(database.size()),
-              "boundary list must cover the database");
+  gm::expects(!bounds.empty() && bounds.front() == 0, "boundary list must cover the database");
+  return fold_cold_scans(episode, semantics, expiry, database, /*base=*/0, bounds, cold,
+                         /*entry_state=*/0, /*entry_first_pos=*/0, /*exit=*/nullptr,
+                         rescanned_symbols);
+}
+
+std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantics,
+                             ExpiryPolicy expiry, std::span<const Symbol> events,
+                             std::int64_t base, std::span<const std::int64_t> bounds,
+                             std::span<const SegmentOutcome> cold, int entry_state,
+                             std::int64_t entry_first_pos, SegmentOutcome* exit,
+                             std::int64_t* rescanned_symbols) {
+  gm::expects(bounds.size() >= 2 && bounds.front() == base &&
+                  bounds.back() == base + static_cast<std::int64_t>(events.size()),
+              "boundary list must cover the event window");
   gm::expects(cold.size() + 1 == bounds.size(), "need one cold outcome per chunk");
+  gm::expects(entry_state >= 0 && entry_state < static_cast<int>(episode.size()),
+              "entry state out of range");
 
   std::int64_t total = 0;
   std::int64_t rescanned = 0;
-  int state = 0;
-  std::int64_t first_pos = 0;
+  int state = entry_state;
+  std::int64_t first_pos = entry_first_pos;
   for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
     if (state == 0) {
       total += cold[c].count;
@@ -176,7 +190,7 @@ std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantic
     std::int64_t twin_count = 0;
     bool converged = false;
     for (std::int64_t i = bounds[c]; i < bounds[c + 1]; ++i) {
-      const Symbol s = database[static_cast<std::size_t>(i)];
+      const Symbol s = events[static_cast<std::size_t>(i - base)];
       if (truth.step(s, i)) ++true_count;
       if (twin.step(s, i)) ++twin_count;
       ++rescanned;
@@ -198,6 +212,7 @@ std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantic
     }
   }
   if (rescanned_symbols != nullptr) *rescanned_symbols = rescanned;
+  if (exit != nullptr) *exit = {total, state, first_pos};
   return total;
 }
 

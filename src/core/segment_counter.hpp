@@ -104,6 +104,24 @@ struct SegmentTransfer {
                                            std::span<const SegmentOutcome> cold,
                                            std::int64_t* rescanned_symbols = nullptr);
 
+/// Entry-state fold over a window of the stream — the streaming/distrib
+/// generalization.  `events` holds positions [base, base + events.size()) of
+/// the stream, `bounds` are absolute chunk boundaries with
+/// `bounds.front() == base`, and `cold[c]` was scanned from state 0 with
+/// ABSOLUTE positions (see distrib/stream_fold's cold_scan_chunk).  The fold
+/// enters the first chunk in (`entry_state`, `entry_first_pos`) — typically a
+/// checkpoint's exit — and reports the occurrences completed inside the
+/// window plus, via `exit`, the configuration the next window resumes from.
+/// Exact for all semantics x expiry, by the same lockstep-replay argument.
+[[nodiscard]] std::int64_t fold_cold_scans(std::span<const Symbol> episode,
+                                           Semantics semantics, ExpiryPolicy expiry,
+                                           std::span<const Symbol> events, std::int64_t base,
+                                           std::span<const std::int64_t> bounds,
+                                           std::span<const SegmentOutcome> cold,
+                                           int entry_state, std::int64_t entry_first_pos,
+                                           SegmentOutcome* exit,
+                                           std::int64_t* rescanned_symbols = nullptr);
+
 /// Occurrences crossing `bound` (start < bound <= end < next_bound), found by
 /// a fresh-automaton rescan of [bound-window, bound+window).  The shared
 /// primitive behind the overlap-rescan fix; the GPU kernels implement the

@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
-#include "kernels/workload_model.hpp"
+#include "core/scan_checkpoint.hpp"
 
 namespace gm::service {
 namespace {
@@ -102,13 +102,28 @@ void MiningSession::load_locked(data::Dataset dataset) {
   }
   dataset_ = std::move(dataset);
   ++generation_;
-  Digest digest;
-  digest.mix(static_cast<std::uint64_t>(dataset_.alphabet.size()));
+  db_digest_state_ = Digest();
+  db_digest_state_.mix(static_cast<std::uint64_t>(dataset_.alphabet.size()));
   for (const core::Symbol s : dataset_.events) {
-    digest.mix(static_cast<std::uint64_t>(s));
+    db_digest_state_.mix(static_cast<std::uint64_t>(s));
   }
-  db_digest_ = digest.value();
-  symbol_freq_ = kernels::measured_symbol_freq(dataset_.events, dataset_.alphabet.size());
+  db_digest_ = db_digest_state_.value();
+  symbol_counts_.assign(static_cast<std::size_t>(dataset_.alphabet.size()), 0);
+  for (const core::Symbol s : dataset_.events) ++symbol_counts_[s];
+  refresh_symbol_freq_locked();
+  monitors_.clear();  // their scans describe the replaced stream
+}
+
+void MiningSession::refresh_symbol_freq_locked() {
+  // Mirrors kernels::measured_symbol_freq bit-for-bit: counts accumulate as
+  // integers (the double conversion is exact far past any real stream), so
+  // the incremental path and a full re-measure agree exactly.
+  const double denom = static_cast<double>(dataset_.events.size()) +
+                       static_cast<double>(dataset_.alphabet.size());
+  symbol_freq_.resize(symbol_counts_.size());
+  for (std::size_t s = 0; s < symbol_counts_.size(); ++s) {
+    symbol_freq_[s] = (static_cast<double>(symbol_counts_[s]) + 1.0) / denom;
+  }
 }
 
 void MiningSession::reload(data::Dataset dataset) {
@@ -117,6 +132,98 @@ void MiningSession::reload(data::Dataset dataset) {
   std::lock_guard cache_lock(cache_mutex_);
   mine_cache_.clear();
   count_cache_.clear();
+}
+
+MiningSession::AppendOutcome MiningSession::append_events(std::span<const core::Symbol> events) {
+  gm::expects(!events.empty(), "append batch must carry at least one event");
+  std::unique_lock db_lock(db_mutex_);
+  for (const core::Symbol s : events) {
+    gm::expects(dataset_.alphabet.contains(s), "append symbol outside the session alphabet");
+  }
+  dataset_.events.insert(dataset_.events.end(), events.begin(), events.end());
+  ++generation_;
+  for (const core::Symbol s : events) {
+    db_digest_state_.mix(static_cast<std::uint64_t>(s));
+    ++symbol_counts_[s];
+  }
+  db_digest_ = db_digest_state_.value();
+  refresh_symbol_freq_locked();
+  // Deliberately no cache clear: the new generation is mixed into every
+  // future cache key, so stale entries can never hit again — they simply age
+  // out of the LRU while still-valid old-generation lookups keep working.
+  AppendOutcome outcome;
+  outcome.generation = generation_;
+  outcome.database_size = static_cast<std::int64_t>(dataset_.events.size());
+  for (StreamingMonitor& monitor : monitors_) {
+    monitor.on_append(events, generation_, outcome.alerts);
+  }
+  return outcome;
+}
+
+std::vector<Alert> MiningSession::register_monitor(MonitorSpec spec) {
+  std::unique_lock db_lock(db_mutex_);
+  for (const StreamingMonitor& monitor : monitors_) {
+    gm::expects(monitor.spec().name != spec.name,
+                "a monitor with this name is already registered");
+  }
+  for (const core::Episode& episode : spec.episodes) {
+    for (const core::Symbol s : episode.symbols()) {
+      gm::expects(dataset_.alphabet.contains(s),
+                  "monitor episode symbol outside the session alphabet");
+    }
+  }
+  StreamingMonitor monitor(std::move(spec));
+  std::vector<Alert> alerts;
+  monitor.on_append(dataset_.events, generation_, alerts);
+  monitors_.push_back(std::move(monitor));
+  return alerts;
+}
+
+std::vector<Alert> MiningSession::restore_monitor(const MonitorSnapshot& snapshot) {
+  std::unique_lock db_lock(db_mutex_);
+  for (const StreamingMonitor& monitor : monitors_) {
+    gm::expects(monitor.spec().name != snapshot.spec.name,
+                "a monitor with this name is already registered");
+  }
+  const auto db_size = static_cast<std::int64_t>(dataset_.events.size());
+  gm::expects(snapshot.checkpoint.high_water <= db_size,
+              "monitor checkpoint is ahead of the loaded database");
+  const std::span<const core::Symbol> prefix(
+      dataset_.events.data(), static_cast<std::size_t>(snapshot.checkpoint.high_water));
+  gm::expects(core::stream_digest_extend(core::stream_digest_seed(), prefix) ==
+                  snapshot.checkpoint.prefix_digest,
+              "monitor checkpoint does not match the loaded database prefix");
+  StreamingMonitor monitor(snapshot.spec, snapshot.checkpoint);
+  std::vector<Alert> alerts;
+  const std::span<const core::Symbol> tail(
+      dataset_.events.data() + snapshot.checkpoint.high_water,
+      static_cast<std::size_t>(db_size - snapshot.checkpoint.high_water));
+  if (!tail.empty()) monitor.on_append(tail, generation_, alerts);
+  monitors_.push_back(std::move(monitor));
+  return alerts;
+}
+
+std::vector<std::int64_t> MiningSession::monitor_counts(std::string_view name) const {
+  std::shared_lock db_lock(db_mutex_);
+  for (const StreamingMonitor& monitor : monitors_) {
+    if (monitor.spec().name == name) return monitor.counts();
+  }
+  gm::raise_precondition("no monitor registered under '" + std::string(name) + "'");
+}
+
+std::vector<MonitorSnapshot> MiningSession::monitor_snapshots() const {
+  std::shared_lock db_lock(db_mutex_);
+  std::vector<MonitorSnapshot> snapshots;
+  snapshots.reserve(monitors_.size());
+  for (const StreamingMonitor& monitor : monitors_) {
+    snapshots.push_back({monitor.spec(), monitor.checkpoint(generation_)});
+  }
+  return snapshots;
+}
+
+std::vector<double> MiningSession::measured_frequencies() const {
+  std::shared_lock db_lock(db_mutex_);
+  return symbol_freq_;
 }
 
 planner::Workload MiningSession::level_workload(std::int64_t episode_count, int level,

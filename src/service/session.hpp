@@ -23,6 +23,16 @@
 // serialized by its own mutex.  Workers that want real parallelism call the
 // *_with variants with a backend of their own (new_backend()), as
 // MiningService does.
+//
+// Streaming: append_events() extends the database in place — generation
+// bumps, the content digest and measured symbol frequencies update
+// incrementally, and registered StreamingMonitors advance by exactly the new
+// events.  Unlike reload(), an append does NOT clear the result caches:
+// cache keys mix the generation, so entries for earlier generations can
+// never be returned for a new request, yet a client that pinned an old
+// response's cache key still observes it until LRU age-out.  Monitors
+// persist across restarts via monitor_snapshots()/restore_monitor()
+// (service/checkpoint_store serializes them as gm-checkpoint/1 JSON).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +41,7 @@
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/counting.hpp"
@@ -38,7 +49,9 @@
 #include "planner/planner.hpp"
 #include "service/api.hpp"
 #include "service/backend_factory.hpp"
+#include "service/checkpoint_store.hpp"
 #include "service/result_cache.hpp"
+#include "service/streaming_monitor.hpp"
 
 namespace gm::service {
 
@@ -62,8 +75,49 @@ class MiningSession {
 
   /// Swap in a new database: bumps the generation, re-measures the workload
   /// statistics, and invalidates both result caches.  Waits for in-flight
-  /// requests to drain.
+  /// requests to drain.  Registered monitors are dropped: their scans
+  /// describe a stream that no longer exists.
   void reload(data::Dataset dataset);
+
+  /// What one append did: the generation it created, the stream size after
+  /// it, and every monitor alert the batch fired.
+  struct AppendOutcome {
+    std::uint64_t generation = 0;
+    std::int64_t database_size = 0;
+    std::vector<Alert> alerts;
+  };
+
+  /// Extend the database with a batch of new events (all inside the session
+  /// alphabet).  Bumps the generation and incrementally updates the content
+  /// digest and measured symbol frequencies; still-cached results from
+  /// earlier generations stay resident (their keys can no longer be
+  /// produced) instead of being invalidated wholesale like reload() does.
+  /// Every registered monitor advances over exactly this batch.
+  AppendOutcome append_events(std::span<const core::Symbol> events);
+
+  /// Register a streaming monitor.  Its scan consumes the current database
+  /// immediately, so counts always cover the whole stream; episodes already
+  /// at threshold fire their alerts in the returned list.  Names must be
+  /// unique within the session.
+  std::vector<Alert> register_monitor(MonitorSpec spec);
+
+  /// Resume a persisted monitor: verifies the checkpoint's prefix digest
+  /// against the loaded database (throws gm::Error on mismatch), then scans
+  /// only the events appended since the capture.  Alerts the catch-up fires
+  /// are returned; episodes already at threshold at capture stay quiet.
+  std::vector<Alert> restore_monitor(const MonitorSnapshot& snapshot);
+
+  /// Current counts of a registered monitor (throws on unknown name).
+  [[nodiscard]] std::vector<std::int64_t> monitor_counts(std::string_view name) const;
+
+  /// Every registered monitor, captured for persistence.  The embedded
+  /// checkpoints carry the current generation.
+  [[nodiscard]] std::vector<MonitorSnapshot> monitor_snapshots() const;
+
+  /// The smoothed symbol distribution the planner scores against, as
+  /// maintained incrementally across appends (bit-identical to
+  /// kernels::measured_symbol_freq over the full stream).
+  [[nodiscard]] std::vector<double> measured_frequencies() const;
 
   /// Serve one request with the session's own backend (serialized).
   [[nodiscard]] MineResponse mine(const MineRequest& request);
@@ -111,6 +165,7 @@ class MiningSession {
   };
 
   void load_locked(data::Dataset dataset);
+  void refresh_symbol_freq_locked();
 
   /// Planner workload for one level of the loaded database (db stats cached
   /// at load time; caller holds the shared db lock).
@@ -127,8 +182,11 @@ class MiningSession {
   mutable std::shared_mutex db_mutex_;
   data::Dataset dataset_;
   std::uint64_t generation_ = 0;
+  Digest db_digest_state_;  ///< running content digest; appends extend it
   std::uint64_t db_digest_ = 0;
+  std::vector<std::int64_t> symbol_counts_;  ///< raw occurrence counts per symbol
   std::vector<double> symbol_freq_;
+  std::vector<StreamingMonitor> monitors_;
 
   mutable std::mutex cache_mutex_;
   ResultCache<CachedMine> mine_cache_;

@@ -1,0 +1,57 @@
+#include "service/streaming_monitor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gm::service {
+namespace {
+
+core::StreamScan make_scan(const MonitorSpec& spec) {
+  gm::expects(!spec.episodes.empty(), "monitor must watch at least one episode");
+  gm::expects(spec.threshold >= 1, "monitor threshold must be at least 1");
+  return core::StreamScan(spec.episodes, spec.semantics, spec.expiry, spec.engine);
+}
+
+}  // namespace
+
+StreamingMonitor::StreamingMonitor(MonitorSpec spec)
+    : spec_(std::move(spec)), scan_(make_scan(spec_)), fired_(spec_.episodes.size(), false) {}
+
+StreamingMonitor::StreamingMonitor(MonitorSpec spec, const core::ScanCheckpoint& checkpoint)
+    : spec_(std::move(spec)), scan_(checkpoint, spec_.engine), fired_(spec_.episodes.size()) {
+  gm::expects(spec_.threshold >= 1, "monitor threshold must be at least 1");
+  gm::expects(checkpoint.episodes.size() == spec_.episodes.size() &&
+                  std::equal(checkpoint.episodes.begin(), checkpoint.episodes.end(),
+                             spec_.episodes.begin()),
+              "monitor checkpoint was captured for a different episode set");
+  gm::expects(checkpoint.semantics == spec_.semantics &&
+                  checkpoint.expiry.window == spec_.expiry.window,
+              "monitor checkpoint was captured under different scan parameters");
+  arm_fired();
+}
+
+void StreamingMonitor::arm_fired() {
+  const std::vector<std::int64_t> counts = scan_.counts();
+  last_total_ = std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+  for (std::size_t i = 0; i < counts.size(); ++i) fired_[i] = counts[i] >= spec_.threshold;
+}
+
+void StreamingMonitor::on_append(std::span<const core::Symbol> events,
+                                 std::uint64_t generation, std::vector<Alert>& alerts) {
+  scan_.feed(events);
+  const std::vector<std::int64_t> counts = scan_.counts();
+  const std::int64_t total = std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+  ticks_.push_back({scan_.high_water(), static_cast<std::int64_t>(events.size()),
+                    total - last_total_});
+  last_total_ = total;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (fired_[i] || counts[i] < spec_.threshold) continue;
+    fired_[i] = true;
+    alerts.push_back({spec_.name, i, counts[i], scan_.high_water(), generation});
+  }
+}
+
+}  // namespace gm::service

@@ -1,0 +1,157 @@
+// Resumable-scan checkpoint suite: capture -> (serialize elsewhere) ->
+// restore -> resume must equal an uninterrupted scan bit-for-bit, across
+// semantics x expiry x capture points x engines — including cross-engine
+// resumes (flat capture into trie restore and back) and mid-window captures
+// whose expiry deadlines straddle the pause.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/scan_checkpoint.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "random_episode_util.hpp"
+
+namespace gm::core {
+namespace {
+
+using test::random_episodes;
+
+constexpr ScanEngine kEngines[] = {ScanEngine::kSingleScan, ScanEngine::kTrie};
+
+std::span<const Symbol> prefix_of(const Sequence& db, std::size_t n) {
+  return {db.data(), n};
+}
+
+std::span<const Symbol> tail_of(const Sequence& db, std::size_t n) {
+  return {db.data() + n, db.size() - n};
+}
+
+TEST(ScanCheckpoint, ResumeEqualsUninterruptedAcrossSemanticsExpiryAndEngines) {
+  Rng rng(0x5EED5CA7);
+  const Semantics all_semantics[] = {Semantics::kNonOverlappedSubsequence,
+                                     Semantics::kContiguousRestart};
+  const std::int64_t windows[] = {0, 2, 9};
+  const double capture_fracs[] = {0.0, 0.37, 0.81, 1.0};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto alphabet_size = static_cast<int>(rng.between(3, 16));
+    const Alphabet alphabet(alphabet_size);
+    const auto db = data::markov_database(alphabet, 700, 0.55, rng());
+    const auto episodes =
+        random_episodes(rng, alphabet_size, static_cast<int>(rng.between(2, 25)), 4);
+    for (const Semantics semantics : all_semantics) {
+      for (const std::int64_t window : windows) {
+        const ExpiryPolicy expiry{window};
+        const auto expected = count_all(episodes, db, semantics, expiry);
+        for (const double frac : capture_fracs) {
+          const auto cut = static_cast<std::size_t>(frac * static_cast<double>(db.size()));
+          for (const ScanEngine capture_engine : kEngines) {
+            StreamScan scan(episodes, semantics, expiry, capture_engine);
+            scan.feed(prefix_of(db, cut));
+            const ScanCheckpoint checkpoint = scan.checkpoint();
+            for (const ScanEngine resume_engine : kEngines) {
+              ASSERT_EQ(resume_scan(checkpoint, tail_of(db, cut), resume_engine), expected)
+                  << "trial " << trial << " semantics " << to_string(semantics) << " window "
+                  << window << " cut " << cut << " engines "
+                  << static_cast<int>(capture_engine) << "->"
+                  << static_cast<int>(resume_engine);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanCheckpoint, MidWindowDeadlineFiresAtTheRightPositionAfterResume) {
+  // <A,B> window 4 over "A C C | C B": the match starting at 0 is still live
+  // at the cut (deadline at position 4), and B arrives at 4 — too late by
+  // exactly one position.  An engine that forgot the live deadline would
+  // count 1.
+  const std::vector<Episode> episodes = {Episode({0, 1})};
+  const Sequence db = {0, 2, 2, 2, 1};
+  const ExpiryPolicy expiry{4};
+  for (const ScanEngine capture_engine : kEngines) {
+    for (const ScanEngine resume_engine : kEngines) {
+      StreamScan scan(episodes, Semantics::kNonOverlappedSubsequence, expiry, capture_engine);
+      scan.feed(prefix_of(db, 3));
+      const auto counts =
+          resume_scan(scan.checkpoint(), tail_of(db, 3), resume_engine);
+      EXPECT_EQ(counts, (std::vector<std::int64_t>{0}));
+    }
+  }
+  // Same shape, window 5: the deadline now clears B's position, so the match
+  // must survive the pause and complete.
+  const ExpiryPolicy wider{5};
+  for (const ScanEngine capture_engine : kEngines) {
+    for (const ScanEngine resume_engine : kEngines) {
+      StreamScan scan(episodes, Semantics::kNonOverlappedSubsequence, wider, capture_engine);
+      scan.feed(prefix_of(db, 3));
+      const auto counts =
+          resume_scan(scan.checkpoint(), tail_of(db, 3), resume_engine);
+      EXPECT_EQ(counts, (std::vector<std::int64_t>{1}));
+    }
+  }
+}
+
+TEST(ScanCheckpoint, AnyBatchingIsBitExactWithOneShotFeed) {
+  Rng rng(0xBA7C4);
+  const Alphabet alphabet(8);
+  const auto db = data::uniform_database(alphabet, 900, rng());
+  const auto episodes = random_episodes(rng, 8, 15, 3);
+  const ExpiryPolicy expiry{6};
+  const auto expected = count_all(episodes, db, Semantics::kNonOverlappedSubsequence, expiry);
+  for (const ScanEngine engine : kEngines) {
+    StreamScan scan(episodes, Semantics::kNonOverlappedSubsequence, expiry, engine);
+    std::size_t fed = 0;
+    while (fed < db.size()) {
+      const auto batch = std::min<std::size_t>(rng.between(1, 97), db.size() - fed);
+      scan.feed({db.data() + fed, batch});
+      fed += batch;
+    }
+    EXPECT_EQ(scan.counts(), expected);
+    EXPECT_EQ(scan.high_water(), static_cast<std::int64_t>(db.size()));
+  }
+}
+
+TEST(ScanCheckpoint, DigestIsBatchingInvariantAndGenerationRoundTrips) {
+  const Sequence db = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::uint64_t whole = stream_digest_extend(stream_digest_seed(), db);
+  std::uint64_t chunked = stream_digest_seed();
+  chunked = stream_digest_extend(chunked, prefix_of(db, 3));
+  chunked = stream_digest_extend(chunked, tail_of(db, 3));
+  EXPECT_EQ(chunked, whole);
+
+  StreamScan scan({Episode({1, 2})}, Semantics::kNonOverlappedSubsequence, {});
+  scan.feed(db);
+  const ScanCheckpoint checkpoint = scan.checkpoint(42);
+  EXPECT_EQ(checkpoint.prefix_digest, whole);
+  EXPECT_EQ(checkpoint.generation, 42u);
+  EXPECT_EQ(checkpoint.high_water, 8);
+}
+
+TEST(ScanCheckpoint, MalformedCheckpointsAreRefused) {
+  StreamScan scan({Episode({0, 1, 2})}, Semantics::kNonOverlappedSubsequence, {});
+  const Sequence db = {0, 1, 0, 1};
+  scan.feed(db);
+  const ScanCheckpoint good = scan.checkpoint();
+
+  ScanCheckpoint truncated = good;
+  truncated.progress.clear();
+  EXPECT_THROW(StreamScan{truncated}, gm::Error);
+
+  ScanCheckpoint bad_state = good;
+  bad_state.progress[0].state = 3;  // == level: automata reset on accept
+  EXPECT_THROW(StreamScan{bad_state}, gm::Error);
+
+  ScanCheckpoint bad_pos = good;
+  bad_pos.progress[0].state = 1;
+  bad_pos.progress[0].first_pos = good.high_water;  // at/after the high-water mark
+  EXPECT_THROW(StreamScan{bad_pos}, gm::Error);
+}
+
+}  // namespace
+}  // namespace gm::core

@@ -11,9 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/candidate_gen.hpp"
 #include "core/multi_counter.hpp"
+#include "core/scan_checkpoint.hpp"
 #include "core/segment_counter.hpp"
 #include "core/serial_counter.hpp"
 #include "data/generators.hpp"
@@ -22,6 +24,7 @@
 #include "distrib/scale_model.hpp"
 #include "distrib/scheduler.hpp"
 #include "distrib/shard_plan.hpp"
+#include "distrib/stream_fold.hpp"
 #include "kernels/mining_kernels.hpp"
 
 namespace gm::distrib {
@@ -360,6 +363,82 @@ TEST(EpisodeJob, BlockLevelExpiryBitExactRandomized) {
         << "trial " << trial << " chunks " << options.chunks << " window "
         << options.expiry.window;
   }
+}
+
+TEST(DistribStreamFold, OutOfOrderDeliveryIsBitExactWithOneScan) {
+  Rng rng(0x0DD0);
+  const Semantics all_semantics[] = {Semantics::kNonOverlappedSubsequence,
+                                     Semantics::kContiguousRestart};
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto alphabet_size = static_cast<int>(rng.between(3, 10));
+    const Alphabet alphabet(alphabet_size);
+    const auto db = data::uniform_database(alphabet, 1200, 500 + trial);
+    const auto episodes = random_episodes(rng, 10, 4, alphabet_size);
+    const Semantics semantics = all_semantics[trial % 2];
+    const ExpiryPolicy expiry{rng.between(0, 20)};
+    const auto expected = core::count_all(episodes, db, semantics, expiry);
+
+    // Slice the stream into uneven chunks, cold-scan each, shuffle delivery.
+    std::vector<ChunkScan> chunks;
+    std::int64_t begin = 0;
+    while (begin < static_cast<std::int64_t>(db.size())) {
+      const auto len = std::min<std::int64_t>(
+          static_cast<std::int64_t>(rng.between(1, 300)),
+          static_cast<std::int64_t>(db.size()) - begin);
+      chunks.push_back(cold_scan_chunk(
+          episodes, semantics, expiry,
+          {db.begin() + begin, db.begin() + begin + len}, begin));
+      begin += len;
+    }
+    for (std::size_t i = chunks.size(); i > 1; --i) {
+      std::swap(chunks[i - 1], chunks[rng.below(i)]);
+    }
+
+    StreamAssembler assembler(episodes, semantics, expiry);
+    for (ChunkScan& chunk : chunks) (void)assembler.deliver(std::move(chunk));
+    EXPECT_EQ(assembler.pending(), 0u);
+    EXPECT_EQ(assembler.high_water(), static_cast<std::int64_t>(db.size()));
+    ASSERT_EQ(assembler.counts(), expected)
+        << "trial " << trial << " window " << expiry.window << " chunks " << chunks.size();
+
+    // The assembled prefix checkpoints like any scan: digest matches a
+    // straight-line digest of the stream, and the checkpoint restores into
+    // the incremental engine.
+    const core::ScanCheckpoint checkpoint = assembler.checkpoint();
+    EXPECT_EQ(checkpoint.prefix_digest,
+              core::stream_digest_extend(core::stream_digest_seed(), db));
+    EXPECT_EQ(core::StreamScan(checkpoint).counts(), expected);
+  }
+}
+
+TEST(DistribStreamFold, GapsHoldCountsAtTheContiguousPrefix) {
+  Rng rng(0x9A9);
+  const Alphabet alphabet(5);
+  const auto db = data::uniform_database(alphabet, 600, 11);
+  const auto episodes = random_episodes(rng, 8, 3, 5);
+  const Semantics semantics = Semantics::kNonOverlappedSubsequence;
+  const ExpiryPolicy expiry{7};
+
+  auto slice = [&](std::int64_t lo, std::int64_t hi) {
+    return cold_scan_chunk(episodes, semantics, expiry, {db.begin() + lo, db.begin() + hi},
+                           lo);
+  };
+
+  StreamAssembler assembler(episodes, semantics, expiry);
+  EXPECT_EQ(assembler.deliver(slice(0, 200)), 1u);
+  EXPECT_EQ(assembler.deliver(slice(400, 600)), 0u);  // parked behind the gap
+  EXPECT_EQ(assembler.pending(), 1u);
+  EXPECT_EQ(assembler.high_water(), 200);
+  const core::Sequence head(db.begin(), db.begin() + 200);
+  EXPECT_EQ(assembler.counts(), core::count_all(episodes, head, semantics, expiry));
+
+  // Filling the gap folds the parked chunk too, in one delivery.
+  EXPECT_EQ(assembler.deliver(slice(200, 400)), 2u);
+  EXPECT_EQ(assembler.pending(), 0u);
+  EXPECT_EQ(assembler.counts(), core::count_all(episodes, db, semantics, expiry));
+
+  // Overlapping or replayed chunks are refused loudly.
+  EXPECT_THROW((void)assembler.deliver(slice(300, 500)), gm::Error);
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// Streaming-session suite: live appends advance generations without
+// invalidating still-valid cached results, measured symbol frequencies stay
+// bit-identical to a full re-measure, monitors alert exactly once per
+// threshold crossing with exact counts, and the gm-checkpoint/1 JSON
+// round-trip restores a session's monitors after a restart — resuming from
+// the persisted position instead of recounting the stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+#include "kernels/workload_model.hpp"
+#include "service/checkpoint_store.hpp"
+#include "service/session.hpp"
+#include "service/streaming_monitor.hpp"
+
+namespace gm::service {
+namespace {
+
+data::Dataset make_dataset(int alphabet_size, std::int64_t size, std::uint64_t seed) {
+  data::Dataset dataset{core::Alphabet(alphabet_size), {}};
+  dataset.events = data::uniform_database(dataset.alphabet, size, seed);
+  return dataset;
+}
+
+SessionOptions serial_options() {
+  SessionOptions options;
+  options.backend = {.name = "serial"};
+  return options;
+}
+
+TEST(AppendEvents, CountsStayExactAndGenerationAdvances) {
+  Rng rng(0xAA55);
+  data::Dataset dataset = make_dataset(10, 400, rng());
+  std::vector<core::Symbol> full = dataset.events;
+  MiningSession session(std::move(dataset), serial_options());
+  const std::uint64_t gen0 = session.generation();
+
+  std::vector<core::Episode> episodes = {core::Episode({1, 2}), core::Episode({3, 3})};
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto events =
+        data::uniform_database(core::Alphabet(10), 120 + 17 * batch, rng());
+    const auto outcome = session.append_events(events);
+    full.insert(full.end(), events.begin(), events.end());
+    EXPECT_EQ(outcome.generation, gen0 + static_cast<std::uint64_t>(batch) + 1);
+    EXPECT_EQ(outcome.database_size, static_cast<std::int64_t>(full.size()));
+
+    CountRequest request;
+    request.episodes = episodes;
+    request.expiry = {7};
+    const CountResponse response = session.count(request);
+    ASSERT_TRUE(response.ok()) << response.rejection.reason;
+    std::vector<std::int64_t> expected;
+    for (const core::Episode& e : episodes) {
+      expected.push_back(
+          core::count_occurrences(e, full, request.semantics, request.expiry));
+    }
+    EXPECT_EQ(response.counts, expected) << "batch " << batch;
+    EXPECT_EQ(response.database_generation, outcome.generation);
+  }
+}
+
+TEST(AppendEvents, IncrementalFrequenciesMatchFullRemeasure) {
+  Rng rng(0xF0E1);
+  data::Dataset dataset = make_dataset(12, 300, rng());
+  std::vector<core::Symbol> full = dataset.events;
+  MiningSession session(std::move(dataset), serial_options());
+  for (int batch = 0; batch < 4; ++batch) {
+    const auto events = data::markov_database(core::Alphabet(12), 90, 0.5, rng());
+    (void)session.append_events(events);
+    full.insert(full.end(), events.begin(), events.end());
+    EXPECT_EQ(session.measured_frequencies(),
+              kernels::measured_symbol_freq(full, 12))
+        << "batch " << batch;
+  }
+}
+
+TEST(AppendEvents, RejectsSymbolsOutsideTheAlphabetAtomically) {
+  MiningSession session(make_dataset(4, 50, 7), serial_options());
+  const std::uint64_t gen = session.generation();
+  const std::int64_t size = session.database_size();
+  const std::vector<core::Symbol> bad = {1, 2, 200};
+  EXPECT_THROW((void)session.append_events(bad), gm::Error);
+  EXPECT_EQ(session.generation(), gen);
+  EXPECT_EQ(session.database_size(), size);
+}
+
+TEST(StreamingMonitorTest, AlertsFireOnceWithExactCountsAcrossEngines) {
+  for (const core::ScanEngine engine :
+       {core::ScanEngine::kSingleScan, core::ScanEngine::kTrie}) {
+    Rng rng(0xA1E27);
+    data::Dataset dataset = make_dataset(6, 200, rng());
+    std::vector<core::Symbol> full = dataset.events;
+    MiningSession session(std::move(dataset), serial_options());
+
+    MonitorSpec spec;
+    spec.name = "watch";
+    spec.episodes = {core::Episode({0, 1}), core::Episode({2, 3, 2})};
+    spec.expiry = {9};
+    spec.engine = engine;
+    const auto initial_counts = [&] {
+      std::vector<std::int64_t> counts;
+      for (const core::Episode& e : spec.episodes) {
+        counts.push_back(core::count_occurrences(e, full, spec.semantics, spec.expiry));
+      }
+      return counts;
+    }();
+    // Threshold above the current count of episode 0 so the crossing happens
+    // mid-stream, during one specific later batch.
+    spec.threshold = initial_counts[0] + 5;
+    std::vector<Alert> alerts = session.register_monitor(spec);
+    for (const Alert& alert : alerts) {
+      EXPECT_GE(alert.count, spec.threshold);  // only already-over episodes fire here
+    }
+
+    int fired_for_episode0 = 0;
+    for (const Alert& a : alerts) fired_for_episode0 += a.episode_index == 0 ? 1 : 0;
+    for (int batch = 0; batch < 20; ++batch) {
+      const auto events = data::uniform_database(core::Alphabet(6), 60, rng());
+      const auto outcome = session.append_events(events);
+      full.insert(full.end(), events.begin(), events.end());
+      std::vector<std::int64_t> expected;
+      for (const core::Episode& e : spec.episodes) {
+        expected.push_back(core::count_occurrences(e, full, spec.semantics, spec.expiry));
+      }
+      ASSERT_EQ(session.monitor_counts("watch"), expected) << "batch " << batch;
+      for (const Alert& alert : outcome.alerts) {
+        EXPECT_EQ(alert.monitor, "watch");
+        EXPECT_GE(alert.count, spec.threshold);
+        EXPECT_EQ(alert.position, static_cast<std::int64_t>(full.size()));
+        fired_for_episode0 += alert.episode_index == 0 ? 1 : 0;
+      }
+    }
+    // The stream is long enough that episode 0 must have crossed — and the
+    // alert-once latch means exactly one alert total.
+    EXPECT_EQ(fired_for_episode0, 1) << "engine " << static_cast<int>(engine);
+  }
+}
+
+TEST(StreamingMonitorTest, CheckpointJsonRoundTripsLosslessly) {
+  Rng rng(0x77AA);
+  const auto events = data::uniform_database(core::Alphabet(9), 150, rng());
+  core::StreamScan scan({core::Episode({1, 2, 3}), core::Episode({4, 4})},
+                        core::Semantics::kNonOverlappedSubsequence, {11},
+                        core::ScanEngine::kTrie);
+  scan.feed(events);
+  const core::ScanCheckpoint original = scan.checkpoint(97);
+
+  bench::JsonWriter json;
+  write_checkpoint(json, original);
+  const core::ScanCheckpoint reloaded = read_checkpoint(bench::parse_json(json.str()));
+  EXPECT_EQ(reloaded.semantics, original.semantics);
+  EXPECT_EQ(reloaded.expiry, original.expiry);
+  EXPECT_EQ(reloaded.high_water, original.high_water);
+  EXPECT_EQ(reloaded.prefix_digest, original.prefix_digest);
+  EXPECT_EQ(reloaded.generation, original.generation);
+  EXPECT_EQ(reloaded.episodes, original.episodes);
+  EXPECT_EQ(reloaded.progress, original.progress);
+}
+
+TEST(StreamingMonitorTest, SessionRestartResumesMonitorsFromPersistedJson) {
+  Rng rng(0xD15C);
+  data::Dataset dataset = make_dataset(8, 250, rng());
+  const data::Dataset dataset_copy = dataset;
+  MiningSession session(std::move(dataset), serial_options());
+
+  MonitorSpec spec;
+  spec.name = "persist";
+  spec.episodes = {core::Episode({0, 1, 2}), core::Episode({3, 4})};
+  spec.expiry = {8};
+  spec.threshold = 3;
+  (void)session.register_monitor(spec);
+  const auto first_batch = data::uniform_database(core::Alphabet(8), 100, rng());
+  (void)session.append_events(first_batch);
+
+  // Persist, then "restart": a new session over the stream as it stood at
+  // capture, restored from the JSON round trip.
+  const std::string persisted = monitors_to_json(session.monitor_snapshots());
+
+  data::Dataset reborn = dataset_copy;
+  reborn.events.insert(reborn.events.end(), first_batch.begin(), first_batch.end());
+  MiningSession restarted(std::move(reborn), serial_options());
+  const auto snapshots = monitors_from_json(persisted);
+  ASSERT_EQ(snapshots.size(), 1u);
+  // Restoring against the matching stream replays nothing (high_water == db
+  // size) and fires nothing new.
+  const auto alerts = restarted.restore_monitor(snapshots.front());
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(restarted.monitor_counts("persist"), session.monitor_counts("persist"));
+
+  // Both sessions continue identically.
+  const auto second_batch = data::uniform_database(core::Alphabet(8), 100, rng());
+  const auto live = session.append_events(second_batch);
+  const auto resumed = restarted.append_events(second_batch);
+  EXPECT_EQ(restarted.monitor_counts("persist"), session.monitor_counts("persist"));
+  ASSERT_EQ(live.alerts.size(), resumed.alerts.size());
+  for (std::size_t i = 0; i < live.alerts.size(); ++i) {
+    EXPECT_EQ(live.alerts[i].episode_index, resumed.alerts[i].episode_index);
+    EXPECT_EQ(live.alerts[i].count, resumed.alerts[i].count);
+    EXPECT_EQ(live.alerts[i].position, resumed.alerts[i].position);
+  }
+}
+
+TEST(StreamingMonitorTest, RestoreRefusesAMismatchedStreamPrefix) {
+  Rng rng(0xBADF00D);
+  data::Dataset dataset = make_dataset(5, 80, rng());
+  data::Dataset tampered = dataset;
+  tampered.events[10] = static_cast<core::Symbol>((tampered.events[10] + 1) % 5);
+
+  MonitorSpec spec;
+  spec.name = "strict";
+  spec.episodes = {core::Episode({1, 2})};
+  MiningSession session(std::move(dataset), serial_options());
+  (void)session.register_monitor(spec);
+  const auto snapshots = session.monitor_snapshots();
+
+  MiningSession other(std::move(tampered), serial_options());
+  EXPECT_THROW((void)other.restore_monitor(snapshots.front()), gm::Error);
+}
+
+TEST(StreamingMonitorTest, TicksRecordEveryAppendBatch) {
+  data::Dataset dataset = make_dataset(4, 40, 3);
+  MiningSession session(std::move(dataset), serial_options());
+  MonitorSpec spec;
+  spec.name = "ticks";
+  spec.episodes = {core::Episode({0, 1})};
+  (void)session.register_monitor(spec);
+  (void)session.append_events(std::vector<core::Symbol>{0, 1, 0, 1});
+  (void)session.append_events(std::vector<core::Symbol>{2, 3});
+  const auto snapshots = session.monitor_snapshots();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots.front().checkpoint.high_water, 46);
+}
+
+}  // namespace
+}  // namespace gm::service

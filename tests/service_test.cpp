@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "core/cpu_backend.hpp"
 #include "core/miner.hpp"
+#include "core/serial_counter.hpp"
 #include "data/generators.hpp"
 #include "kernels/mining_kernels.hpp"
 #include "service/result_cache.hpp"
@@ -166,6 +167,44 @@ TEST(ServiceSession, ReloadInvalidatesCachesAndBumpsGeneration) {
   const core::MiningResult want =
       core::mine_frequent_episodes(second.events, second.alphabet, serial, request.config);
   expect_same_mining(fresh.result, want);
+}
+
+TEST(ServiceSession, AppendKeepsCachesWarmWhereReloadInvalidates) {
+  // The cache-coherence contract that separates the two database mutations:
+  // reload() clears both caches (its events are unrelated to the old ones),
+  // while append_events() only bumps the generation — old entries become
+  // unreachable through new keys but are NOT invalidated, so repeating a
+  // request from before the append re-counts (fresh key, miss) and repeating
+  // it again hits, all with exact counts for the grown stream.
+  data::Dataset dataset = make_dataset(6, 800, 21);
+  std::vector<core::Symbol> full = dataset.events;
+  MiningSession session(dataset, {.backend = {.name = "cpu-serial"}});
+
+  CountRequest request;
+  request.episodes = {core::Episode({1, 2}), core::Episode({3, 4})};
+  request.expiry = {5};
+
+  const CountResponse warm = session.count(request);
+  ASSERT_EQ(warm.disposition, Disposition::kServed);
+  ASSERT_EQ(session.count(request).disposition, Disposition::kCached);
+  const CacheStats before = session.count_cache_stats();
+
+  const auto extra = data::uniform_database(core::Alphabet(6), 200, 77);
+  (void)session.append_events(extra);
+  full.insert(full.end(), extra.begin(), extra.end());
+
+  // No invalidations — unlike reload — yet the same request cannot hit the
+  // pre-append entry: its key now mixes the new generation.
+  EXPECT_EQ(session.count_cache_stats().invalidations, before.invalidations);
+  const CountResponse regrown = session.count(request);
+  ASSERT_EQ(regrown.disposition, Disposition::kServed);
+  EXPECT_NE(regrown.cache_key, warm.cache_key);
+  std::vector<std::int64_t> expected;
+  for (const core::Episode& e : request.episodes) {
+    expected.push_back(core::count_occurrences(e, full, request.semantics, request.expiry));
+  }
+  EXPECT_EQ(regrown.counts, expected);
+  EXPECT_EQ(session.count(request).disposition, Disposition::kCached);
 }
 
 TEST(ServiceSession, InvalidConfigsAreRejectedWithStableCodes) {

@@ -1,23 +1,227 @@
-// google-benchmark microbenchmarks of the substrate itself: automaton
-// stepping, serial counting, chunked composition, cache simulation, the
-// functional engine, and the analytic model (which must stay in the
-// microsecond range to make full-scale sweeps free).
+// Microbenchmarks of the substrate, in two tiers.
+//
+// The counting lane (`--counting`) is the regression-gated hot-path
+// microbench: it races the optimized single-scan engines (flat SoA and
+// shared-prefix trie) against the serial per-episode oracle across alphabet
+// size x expiry x prefix mass, cross-checks every engine's counts against the
+// oracle, and emits a schema-stamped BENCH_counting.json so the events/sec
+// trajectory is tracked commit over commit.  CI gates the reference shape
+// (large alphabet, no expiry) on a relative floor (optimized >= 2x serial)
+// and an absolute events/sec floor recorded in the artifact; both reproduce
+// locally with one command:
+//
+//   micro_gbench --counting --out BENCH_counting.json --min-speedup 2
+//                --min-events-per-sec 2e7   (one line)
+//
+// The lane is self-timed (std::chrono, best of --repeat runs) so it builds
+// and gates everywhere; the Google Benchmark micro suite below rides along
+// only when the package exists (run with no arguments or gbench flags).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_support/cli_args.hpp"
+#include "bench_support/json.hpp"
+#include "common/rng.hpp"
+#include "core/episode_trie.hpp"
+#include "core/multi_counter.hpp"
+#include "core/serial_counter.hpp"
+#include "data/generators.hpp"
+
+namespace {
+
+using gm::core::Alphabet;
+using gm::core::Episode;
+using gm::core::ExpiryPolicy;
+using gm::core::Semantics;
+using gm::core::Symbol;
+
+struct CountingOptions {
+  std::string out = "BENCH_counting.json";
+  std::int64_t db_size = 200'000;
+  int episodes = 256;
+  int level = 3;
+  int repeat = 3;
+  std::uint64_t seed = 2009;
+  double min_speedup = 0.0;         ///< gate: flat vs serial on the reference shape
+  double min_events_per_sec = 0.0;  ///< gate: absolute flat floor on the reference shape
+};
+
+/// One point of the shape grid.  `prefix_pool` 0 draws fully random episodes;
+/// P > 0 draws each episode's (level-1)-prefix from a pool of P (the
+/// apriori-candidate shape the trie engine compresses).
+struct Shape {
+  int alphabet = 26;
+  std::int64_t expiry = 0;
+  int prefix_pool = 0;
+  bool reference = false;  ///< the gated large-alphabet shape
+};
+
+std::vector<Episode> make_episodes(const Shape& shape, const CountingOptions& opt,
+                                   gm::Rng& rng) {
+  const auto symbol = [&] {
+    return static_cast<Symbol>(rng.below(static_cast<std::uint64_t>(shape.alphabet)));
+  };
+  std::vector<std::vector<Symbol>> prefixes;
+  for (int p = 0; p < shape.prefix_pool; ++p) {
+    std::vector<Symbol> prefix;
+    for (int i = 0; i + 1 < opt.level; ++i) prefix.push_back(symbol());
+    prefixes.push_back(std::move(prefix));
+  }
+  std::vector<Episode> episodes;
+  episodes.reserve(static_cast<std::size_t>(opt.episodes));
+  for (int e = 0; e < opt.episodes; ++e) {
+    std::vector<Symbol> symbols;
+    if (!prefixes.empty() && opt.level > 1) {
+      symbols = prefixes[static_cast<std::size_t>(e) % prefixes.size()];
+      symbols.push_back(symbol());
+    } else {
+      for (int i = 0; i < opt.level; ++i) symbols.push_back(symbol());
+    }
+    episodes.emplace_back(std::move(symbols));
+  }
+  return episodes;
+}
+
+/// Best-of-N wall clock of `fn` (which returns the counts it produced, so the
+/// work cannot be optimized away and every run is cross-checked).
+template <typename Fn>
+double best_seconds(int repeat, std::vector<std::int64_t>& counts, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = Clock::now();
+    counts = fn();
+    best = std::min(best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
+}
+
+int run_counting_lane(const CountingOptions& opt) {
+  // The alphabet axis tops out at 250: symbols are dense 8-bit ids, so the
+  // "large alphabet" reference shape is the widest the layout supports.
+  const std::vector<Shape> shapes = {
+      {4, 0, 0, false},    {4, 17, 0, false},    {64, 0, 0, false},  {64, 17, 0, false},
+      {64, 0, 8, false},   {250, 0, 0, true},    {250, 17, 0, false}, {250, 0, 8, false},
+  };
+
+  gm::bench::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "gm-bench-counting/1");
+  json.field("db_size", opt.db_size);
+  json.field("episodes", opt.episodes);
+  json.field("level", opt.level);
+  json.field("repeat", opt.repeat);
+  json.field("seed", static_cast<std::int64_t>(opt.seed));
+  json.field("min_speedup_gate", opt.min_speedup);
+  json.field("events_per_sec_floor", opt.min_events_per_sec);
+  json.key("shapes").begin_array();
+
+  bool gate_failed = false;
+  std::printf("%9s %7s %12s %6s | %11s %11s %11s | %8s %8s\n", "alphabet", "expiry",
+              "prefix_pool", "rho", "serial_ev/s", "flat_ev/s", "trie_ev/s", "flat_x",
+              "trie_x");
+  for (const Shape& shape : shapes) {
+    gm::Rng rng(opt.seed + static_cast<std::uint64_t>(shape.alphabet) * 1000 +
+                static_cast<std::uint64_t>(shape.expiry) * 7 +
+                static_cast<std::uint64_t>(shape.prefix_pool));
+    const Alphabet alphabet(shape.alphabet);
+    const auto db = gm::data::uniform_database(alphabet, opt.db_size, opt.seed + 1);
+    const std::vector<Episode> episodes = make_episodes(shape, opt, rng);
+    const double rho = gm::core::prefix_compression(episodes);
+    const ExpiryPolicy expiry{shape.expiry};
+    const Semantics semantics = Semantics::kNonOverlappedSubsequence;
+
+    std::vector<std::int64_t> oracle;
+    std::vector<std::int64_t> flat;
+    std::vector<std::int64_t> trie;
+    const double serial_s = best_seconds(opt.repeat, oracle, [&] {
+      return gm::core::count_all(episodes, db, semantics, expiry);
+    });
+    const double flat_s = best_seconds(opt.repeat, flat, [&] {
+      return gm::core::count_all_single_scan(episodes, db, semantics, expiry);
+    });
+    const double trie_s = best_seconds(opt.repeat, trie, [&] {
+      return gm::core::count_all_trie_scan(episodes, db, semantics, expiry);
+    });
+    if (flat != oracle || trie != oracle) {
+      std::fprintf(stderr,
+                   "FAIL: engine counts diverge from the serial oracle "
+                   "(alphabet %d, expiry %lld, prefix_pool %d)\n",
+                   shape.alphabet, static_cast<long long>(shape.expiry), shape.prefix_pool);
+      return 1;
+    }
+
+    const double db_events = static_cast<double>(opt.db_size);
+    const double serial_eps = db_events / serial_s;
+    const double flat_eps = db_events / flat_s;
+    const double trie_eps = db_events / trie_s;
+    const double flat_speedup = serial_s / flat_s;
+    const double trie_speedup = serial_s / trie_s;
+    std::printf("%9d %7lld %12d %6.3f | %11.3e %11.3e %11.3e | %8.2f %8.2f\n",
+                shape.alphabet, static_cast<long long>(shape.expiry), shape.prefix_pool, rho,
+                serial_eps, flat_eps, trie_eps, flat_speedup, trie_speedup);
+
+    json.begin_object();
+    json.field("alphabet", shape.alphabet);
+    json.field("expiry", shape.expiry);
+    json.field("prefix_pool", shape.prefix_pool);
+    json.field("prefix_compression", rho);
+    json.field("reference", shape.reference);
+    json.field("serial_events_per_sec", serial_eps);
+    json.field("flat_events_per_sec", flat_eps);
+    json.field("trie_events_per_sec", trie_eps);
+    json.field("flat_speedup_vs_serial", flat_speedup);
+    json.field("trie_speedup_vs_serial", trie_speedup);
+    json.end_object();
+
+    if (shape.reference) {
+      if (opt.min_speedup > 0.0 && flat_speedup < opt.min_speedup) {
+        std::fprintf(stderr,
+                     "GATE FAIL: flat single-scan %.2fx serial on the reference shape, "
+                     "gate requires >= %.2fx\n",
+                     flat_speedup, opt.min_speedup);
+        gate_failed = true;
+      }
+      if (opt.min_events_per_sec > 0.0 && flat_eps < opt.min_events_per_sec) {
+        std::fprintf(stderr,
+                     "GATE FAIL: flat single-scan %.3e events/sec on the reference shape, "
+                     "floor is %.3e\n",
+                     flat_eps, opt.min_events_per_sec);
+        gate_failed = true;
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+  json.write_file(opt.out);
+  std::printf("wrote %s\n", opt.out.c_str());
+  return gate_failed ? 1 : 0;
+}
+
+constexpr const char* kUsage =
+    "usage: micro_gbench --counting [--out FILE] [--db N] [--episodes N] [--level L]\n"
+    "                    [--repeat R] [--seed S] [--min-speedup X]\n"
+    "                    [--min-events-per-sec F]\n"
+    "       micro_gbench [google-benchmark flags]   (micro suite, when built in)\n";
+
+}  // namespace
+
+#ifdef GM_HAVE_GBENCH
 #include <benchmark/benchmark.h>
 
 #include "core/candidate_gen.hpp"
 #include "core/segment_counter.hpp"
-#include "core/serial_counter.hpp"
-#include "data/generators.hpp"
 #include "kernels/mining_kernels.hpp"
 #include "kernels/workload_model.hpp"
 #include "sim/cache.hpp"
 #include "sim/engine.hpp"
 
 namespace {
-
-using gm::core::Alphabet;
-using gm::core::Episode;
-using gm::core::Semantics;
 
 const Alphabet kAlphabet = Alphabet::english_uppercase();
 
@@ -31,6 +235,21 @@ void BM_AutomatonScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100'000);
 }
 BENCHMARK(BM_AutomatonScan);
+
+void BM_SingleScanLargeAlphabet(benchmark::State& state) {
+  const Alphabet alphabet(250);
+  const auto db = gm::data::uniform_database(alphabet, 100'000, 3);
+  gm::Rng rng(11);
+  CountingOptions opt;
+  opt.episodes = 256;
+  const std::vector<Episode> episodes = make_episodes({250, 0, 0, false}, opt, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm::core::count_all_single_scan(
+        episodes, db, Semantics::kNonOverlappedSubsequence));
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SingleScanLargeAlphabet);
 
 void BM_ChunkedComposition(benchmark::State& state) {
   const auto db = gm::data::uniform_database(kAlphabet, 100'000, 3);
@@ -99,5 +318,61 @@ void BM_SpikeTrainGeneration(benchmark::State& state) {
 BENCHMARK(BM_SpikeTrainGeneration);
 
 }  // namespace
+#endif  // GM_HAVE_GBENCH
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool counting = false;
+  CountingOptions opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      const auto next = [&]() -> std::string_view {
+        if (i + 1 >= argc) throw gm::bench::UsageError(std::string(arg) + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--counting") {
+        counting = true;
+      } else if (arg == "--out") {
+        opt.out = std::string(next());
+      } else if (arg == "--db") {
+        opt.db_size = gm::bench::parse_int64(arg, next(), 1, 1'000'000'000);
+      } else if (arg == "--episodes") {
+        opt.episodes = gm::bench::parse_int(arg, next(), 1, 1'000'000);
+      } else if (arg == "--level") {
+        opt.level = gm::bench::parse_int(arg, next(), 1, 16);
+      } else if (arg == "--repeat") {
+        opt.repeat = gm::bench::parse_int(arg, next(), 1, 100);
+      } else if (arg == "--seed") {
+        opt.seed = static_cast<std::uint64_t>(
+            gm::bench::parse_int64(arg, next(), 0, std::numeric_limits<std::int64_t>::max()));
+      } else if (arg == "--min-speedup") {
+        opt.min_speedup = gm::bench::parse_double(arg, next(), 0.0, 1e9);
+      } else if (arg == "--min-events-per-sec") {
+        opt.min_events_per_sec = gm::bench::parse_double(arg, next(), 0.0, 1e18);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("%s", kUsage);
+        return 0;
+      } else if (!counting) {
+        break;  // not a counting-lane flag: hand the whole line to gbench
+      } else {
+        throw gm::bench::UsageError("unknown flag '" + std::string(arg) + "'");
+      }
+    }
+    if (counting) return run_counting_lane(opt);
+  } catch (const gm::bench::UsageError& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
+    return 2;
+  }
+#ifdef GM_HAVE_GBENCH
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "built without Google Benchmark; only the counting lane is available\n%s",
+               kUsage);
+  return 2;
+#endif
+}

@@ -5,8 +5,8 @@
 #
 # With no STEP every gate runs in CI order; `ci/run_benches.sh list` prints
 # the step names.  BUILD_DIR defaults to build/bench-ci and must already hold
-# a Release build of the bench drivers (backend_shootout, calibration_table,
-# planner_explain, service_replay, streaming_replay), e.g.:
+# a Release build of the bench drivers (micro_gbench, backend_shootout,
+# calibration_table, planner_explain, service_replay, streaming_replay), e.g.:
 #
 #   cmake -B build/bench-ci -S . -DCMAKE_BUILD_TYPE=Release -DGM_BUILD_TESTS=OFF
 #   cmake --build build/bench-ci -j
@@ -29,6 +29,17 @@ shift $((OPTIND - 1))
 
 BENCH="$BUILD_DIR/bench"
 EXAMPLES="$BUILD_DIR/examples"
+
+# Counting hot-path microbench: single scan of the large-alphabet reference
+# shape must stay at least 2x the serial oracle and clear an absolute
+# events/sec floor set ~10x below the measured rate, so only a real
+# regression (not runner noise) trips it.  Every shape is cross-checked
+# bit-exact against the serial counts before any timing is reported.
+step_counting() {
+  "$BENCH/micro_gbench" --counting \
+    --db 200000 --episodes 256 --level 3 --repeat 3 --seed 2009 \
+    --min-speedup 2 --min-events-per-sec 3000000 --out BENCH_counting.json
+}
 
 # CPU formulation race on a workload big enough for stable wall-clock;
 # --threads 1 keeps the gate about formulation choice rather than whether the
@@ -122,8 +133,8 @@ step_streaming_replay() {
     --min-speedup 5 --out BENCH_streaming.json
 }
 
-ALL_STEPS=(planner-cpu planner-gpu planner-trie planner-devices scaling
-  fit-calibration planner-fitted planner-tables calibration-table
+ALL_STEPS=(counting planner-cpu planner-gpu planner-trie planner-devices
+  scaling fit-calibration planner-fitted planner-tables calibration-table
   service-replay streaming-replay)
 
 if [[ $# -eq 1 && $1 == list ]]; then

@@ -4,7 +4,6 @@
 #include <limits>
 #include <map>
 #include <numeric>
-#include <queue>
 #include <utility>
 
 #include "common/error.hpp"
@@ -149,26 +148,9 @@ double prefix_compression(std::span<const Episode> episodes) {
 
 namespace {
 
-/// One in-flight partial match: a trie node plus the episodes that are
-/// mid-match with exactly that prefix since `first_pos`.  All members are in
-/// lockstep, so the token expires, advances, and splits as a unit.
-struct Token {
-  std::uint32_t node = 0;
-  std::int64_t first_pos = 0;
-  std::uint64_t gen = 0;  // bumped on release: stale bucket/deadline refs die
-  std::vector<Interval> members;
-};
-
 struct BucketEntry {
   std::uint32_t token = 0;
   std::uint64_t gen = 0;
-};
-
-struct Deadline {
-  std::int64_t at = 0;
-  std::uint32_t token = 0;
-  std::uint64_t gen = 0;
-  friend bool operator>(const Deadline& a, const Deadline& b) { return a.at > b.at; }
 };
 
 // Saturating first_pos + window: restored checkpoints carry user-supplied
@@ -182,64 +164,153 @@ std::int64_t deadline_at(std::int64_t first_pos, std::int64_t window) {
 
 }  // namespace
 
+// Token storage is struct-of-arrays: a token — one in-flight partial match,
+// a trie node plus the episodes mid-match with exactly that prefix since
+// `first_pos`, all in lockstep — is a dense id into the parallel `tok_*`
+// arrays.  Member interval vectors are pooled: release() clears but keeps
+// capacity and the freelist hands the storage to the next token, so steady
+// state allocates nothing per event.  `tok_gen` invalidates bucket entries
+// left behind by released tokens (a token files under several child edges at
+// once, so physical removal would need per-edge backrefs; one generation
+// compare per drained entry is cheaper).
+//
+// Expiry is a monotone deadline queue plus a linear sweep.  Every live
+// token's first_pos is the stream position of some root dispatch, and root
+// dispatches happen at strictly increasing positions, so pushing
+// `first_pos + window` at root-token creation yields a nondecreasing queue —
+// a FIFO of plain positions, no token refs, no heap.  When the front
+// matures, one linear pass over the token arrays expires every due token
+// (child tokens inherited their root's first_pos, so the sweep catches them
+// under the same queue entry).  restore() is the one unordered producer; it
+// sorts its batch once, and future pushes land at or after it.
 struct TrieCounter::Impl {
   std::vector<std::int64_t> counts;  // sorted-episode order
-  std::vector<Token> tokens;
+
+  // SoA token arena, indexed by dense token id.
+  std::vector<std::uint32_t> tok_node;
+  std::vector<std::int64_t> tok_first;
+  std::vector<std::uint64_t> tok_gen;
+  std::vector<std::vector<Interval>> tok_members;  // empty <=> not live
   std::vector<std::uint32_t> free_tokens;
+
+  // Compact live-token list (swap-remove via tok_live_idx backrefs): the
+  // expiry sweep touches exactly the in-flight tokens, not the arena's peak.
+  std::vector<std::uint32_t> live;
+  std::vector<std::uint32_t> tok_live_idx;
+
   // Symbol is 8-bit, so direct-mapped tables cover every alphabet: waiting
   // tokens by awaited symbol, and idle (state-0) episodes by first symbol.
   std::vector<std::vector<BucketEntry>> buckets{256};
   std::vector<std::vector<Interval>> idle{256};
-  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> deadlines;
   std::vector<BucketEntry> scratch;
 
-  std::uint32_t acquire() {
-    if (!free_tokens.empty()) {
-      const std::uint32_t id = free_tokens.back();
-      free_tokens.pop_back();
-      return id;
+  // Monotone deadline FIFO: live window is [deadline_head, deadlines.size()).
+  std::vector<std::int64_t> deadlines;
+  std::size_t deadline_head = 0;
+
+  [[nodiscard]] bool deadlines_empty() const { return deadline_head == deadlines.size(); }
+  [[nodiscard]] bool deadline_due(std::int64_t pos) const {
+    return deadline_head < deadlines.size() && deadlines[deadline_head] <= pos;
+  }
+
+  void push_deadline(std::int64_t at) {
+    if (deadlines.empty() || at >= deadlines.back()) {
+      deadlines.push_back(at);
+      return;
     }
-    tokens.emplace_back();
-    return static_cast<std::uint32_t>(tokens.size() - 1);
+    // Out-of-order (caller violated monotone positions): insert sorted so
+    // expiry stays correct anyway.
+    deadlines.insert(std::upper_bound(deadlines.begin() +
+                                          static_cast<std::ptrdiff_t>(deadline_head),
+                                      deadlines.end(), at),
+                     at);
+  }
+
+  std::uint32_t acquire() {
+    std::uint32_t id = 0;
+    if (!free_tokens.empty()) {
+      id = free_tokens.back();
+      free_tokens.pop_back();
+    } else {
+      id = static_cast<std::uint32_t>(tok_members.size());
+      tok_node.push_back(0);
+      tok_first.push_back(0);
+      tok_gen.push_back(0);
+      tok_members.emplace_back();
+      tok_live_idx.push_back(0);
+    }
+    tok_live_idx[id] = static_cast<std::uint32_t>(live.size());
+    live.push_back(id);
+    return id;
   }
 
   void release(std::uint32_t id) {
-    tokens[id].members.clear();
-    ++tokens[id].gen;
+    tok_members[id].clear();  // keeps capacity: the interval pool is reused
+    ++tok_gen[id];
     free_tokens.push_back(id);
+    const std::uint32_t hole = tok_live_idx[id];
+    const std::uint32_t moved = live.back();
+    live[hole] = moved;
+    tok_live_idx[moved] = hole;
+    live.pop_back();
   }
 
-  /// Accept terminals, schedule expiry, and file the surviving token under
-  /// every child edge it still has members for.  Call right after the token
-  /// lands on `trie.node(token.node)` — filings go into the live buckets, so
-  /// a repeated prefix symbol waits for its NEXT occurrence.
-  void arrive(std::uint32_t id, const EpisodeTrie& trie, ExpiryPolicy expiry, Ops& ops) {
-    Token& token = tokens[id];
-    const EpisodeTrie::Node& node = trie.node(token.node);
+  /// Linear expiry sweep: return every due token's members to the idle sets
+  /// and release it.  One pass over the live list — no per-token heap
+  /// entries to chase.  Members go back BEFORE dispatch, so they can catch a
+  /// fresh first symbol at this very position — exactly the single-scan
+  /// re-bucketing.
+  void expire_due(std::int64_t pos, const EpisodeTrie& trie, std::int64_t window, Ops& ops) {
+    for (std::size_t i = 0; i < live.size();) {
+      const std::uint32_t id = live[i];
+      if (deadline_at(tok_first[id], window) > pos) {
+        ++i;
+        continue;
+      }
+      const Symbol first = trie.node(tok_node[id]).first_symbol;
+      for (const Interval& iv : tok_members[id]) {
+        idle[first].push_back(iv);
+        ++ops.files;
+      }
+      release(id);  // swap-remove refills live[i]; revisit the same index
+      ++ops.heap_ops;
+    }
+    while (deadline_due(pos)) ++deadline_head;
+    // Amortized O(1) compaction keeps the FIFO bounded by live entries.
+    if (deadline_head > 1024 && deadline_head * 2 >= deadlines.size()) {
+      deadlines.erase(deadlines.begin(),
+                      deadlines.begin() + static_cast<std::ptrdiff_t>(deadline_head));
+      deadline_head = 0;
+    }
+  }
+
+  /// Accept terminals and file the surviving token under every child edge it
+  /// still has members for.  Call right after the token lands on
+  /// `trie.node(tok_node[id])` — filings go into the live buckets, so a
+  /// repeated prefix symbol waits for its NEXT occurrence.
+  void arrive(std::uint32_t id, const EpisodeTrie& trie, Ops& ops) {
+    std::vector<Interval>& members = tok_members[id];
+    const EpisodeTrie::Node& node = trie.node(tok_node[id]);
     for (const std::uint32_t e : node.terminals) {
-      if (!remove_point(token.members, e)) continue;
+      if (!remove_point(members, e)) continue;
       ++counts[e];
       ++ops.accepts;
       ++ops.files;
       idle[node.first_symbol].push_back({e, e + 1});
     }
-    if (token.members.empty()) {
+    if (members.empty()) {
       release(id);
       return;
-    }
-    if (expiry.enabled()) {
-      deadlines.push({deadline_at(token.first_pos, expiry.window), id, token.gen});
-      ++ops.heap_ops;
     }
     // Children and member intervals are both ordered by sorted-episode index,
     // so one merge walk finds every child edge with members behind it.
     std::size_t j = 0;
     for (const EpisodeTrie::Edge& edge : node.children) {
       const EpisodeTrie::Node& child = trie.node(edge.node);
-      while (j < token.members.size() && token.members[j].hi <= child.lo) ++j;
-      if (j == token.members.size()) break;
-      if (token.members[j].lo < child.hi) {
-        buckets[edge.symbol].push_back({id, token.gen});
+      while (j < members.size() && members[j].hi <= child.lo) ++j;
+      if (j == members.size()) break;
+      if (members[j].lo < child.hi) {
+        buckets[edge.symbol].push_back({id, tok_gen[id]});
         ++ops.files;
       }
     }
@@ -287,27 +358,36 @@ void TrieCounter::advance(Symbol symbol, std::int64_t pos) {
   advance_sparse(symbol, pos);
 }
 
+void TrieCounter::advance_batch(std::span<const Symbol> symbols, std::int64_t start_pos) {
+  if (!dense_automata_.empty() || trie_ == nullptr) {
+    // Symbols innermost per automaton: the episode stays register/L1-resident
+    // across the whole batch instead of being re-fetched per stream symbol.
+    for (std::size_t a = 0; a < dense_automata_.size(); ++a) {
+      EpisodeAutomaton& automaton = dense_automata_[a];
+      std::int64_t accepted = 0;
+      for (std::size_t i = 0; i < symbols.size(); ++i) {
+        if (automaton.step(symbols[i], start_pos + static_cast<std::int64_t>(i))) ++accepted;
+      }
+      dense_counts_[a] += accepted;
+    }
+    ops_.dense_steps +=
+        static_cast<std::int64_t>(dense_automata_.size() * symbols.size());
+    return;
+  }
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    advance_sparse(symbols[i], start_pos + static_cast<std::int64_t>(i));
+  }
+}
+
 void TrieCounter::advance_sparse(Symbol symbol, std::int64_t pos) {
   Impl& im = *impl_;
   ++ops_.probes;
 
-  // Expire matches that can no longer finish by this position.  Members go
-  // back to the idle set BEFORE dispatch, so they can catch a fresh first
-  // symbol at this very position — exactly the single-scan re-bucketing.
-  if (expiry_.enabled()) {
-    while (!im.deadlines.empty() && im.deadlines.top().at <= pos) {
-      const Deadline d = im.deadlines.top();
-      im.deadlines.pop();
-      Token& token = im.tokens[d.token];
-      if (token.gen != d.gen) continue;  // released or reused since
-      ++ops_.heap_ops;
-      const Symbol first = trie_->node(token.node).first_symbol;
-      for (const Interval& iv : token.members) {
-        im.idle[first].push_back(iv);
-        ++ops_.files;
-      }
-      im.release(d.token);
-    }
+  // Expire matches that can no longer finish by this position.  The monotone
+  // queue front tells us whether ANY token is due; the sweep then handles
+  // every due token in one linear pass over the arena.
+  if (expiry_.enabled() && im.deadline_due(pos)) {
+    im.expire_due(pos, *trie_, expiry_.window, ops_);
   }
 
   // Swap the waiting bucket out first: everything filed from here on (fresh
@@ -321,38 +401,41 @@ void TrieCounter::advance_sparse(Symbol symbol, std::int64_t pos) {
   const std::uint32_t start_node = trie_->root_child(symbol);
   if (start_node != 0 && !im.idle[symbol].empty()) {
     const std::uint32_t id = im.acquire();
-    Token& token = im.tokens[id];
-    token.node = start_node;
-    token.first_pos = pos;
-    token.members.swap(im.idle[symbol]);
-    normalize(token.members);
-    ops_.starts += member_count(token.members);
-    im.arrive(id, *trie_, expiry_, ops_);
+    im.tok_node[id] = start_node;
+    im.tok_first[id] = pos;
+    im.tok_members[id].swap(im.idle[symbol]);
+    normalize(im.tok_members[id]);
+    ops_.starts += member_count(im.tok_members[id]);
+    if (expiry_.enabled()) {
+      im.push_deadline(deadline_at(pos, expiry_.window));
+      ++ops_.heap_ops;
+    }
+    im.arrive(id, *trie_, ops_);
   }
 
   // Drain waiting tokens: each one advances all its members sharing the next
   // prefix symbol in a single split toward the matching child.
   for (const BucketEntry entry : im.scratch) {
-    if (im.tokens[entry.token].gen != entry.gen) continue;  // expired since
-    const EpisodeTrie::Node& node = trie_->node(im.tokens[entry.token].node);
+    if (im.tok_gen[entry.token] != entry.gen) continue;  // expired since
+    const EpisodeTrie::Node& node = trie_->node(im.tok_node[entry.token]);
     const auto edge = std::lower_bound(
         node.children.begin(), node.children.end(), symbol,
         [](const EpisodeTrie::Edge& e, Symbol s) { return e.symbol < s; });
     if (edge == node.children.end() || edge->symbol != symbol) continue;
     ++ops_.drains;
     const EpisodeTrie::Node& child = trie_->node(edge->node);
-    const std::uint32_t id = im.acquire();  // may reallocate: re-index below
-    Token& parent = im.tokens[entry.token];
-    Token& moved = im.tokens[id];
-    moved.node = edge->node;
-    moved.first_pos = parent.first_pos;
-    extract_range(parent.members, child.lo, child.hi, moved.members);
-    if (moved.members.empty()) {  // defensive: filings always have members
+    const std::uint32_t id = im.acquire();
+    im.tok_node[id] = edge->node;
+    im.tok_first[id] = im.tok_first[entry.token];
+    extract_range(im.tok_members[entry.token], child.lo, child.hi, im.tok_members[id]);
+    if (im.tok_members[id].empty()) {  // defensive: filings always have members
       im.release(id);
       continue;
     }
-    if (parent.members.empty()) im.release(entry.token);
-    im.arrive(id, *trie_, expiry_, ops_);
+    // A child token inherits its root dispatch's first_pos, so its deadline
+    // is already covered by that root's queue entry — no push here.
+    if (im.tok_members[entry.token].empty()) im.release(entry.token);
+    im.arrive(id, *trie_, ops_);
   }
   im.scratch.clear();
 }
@@ -371,9 +454,15 @@ void TrieCounter::restore(std::span<const EpisodeProgress> progress) {
   gm::expects(progress.size() == im.counts.size(), "progress list must match the episode list");
   for (auto& bucket : im.buckets) bucket.clear();
   for (auto& set : im.idle) set.clear();
-  im.deadlines = {};
-  im.tokens.clear();
+  im.deadlines.clear();
+  im.deadline_head = 0;
+  im.tok_node.clear();
+  im.tok_first.clear();
+  im.tok_gen.clear();
+  im.tok_members.clear();
   im.free_tokens.clear();
+  im.live.clear();
+  im.tok_live_idx.clear();
 
   // The capture may come from a differently-grouped engine (the flat
   // single-scan counter, or a trie counter that split tokens along another
@@ -414,10 +503,10 @@ void TrieCounter::restore(std::span<const EpisodeProgress> progress) {
     if (inserted) {
       const std::uint32_t id = im.acquire();
       group->second = id;
-      im.tokens[id].node = node;
-      im.tokens[id].first_pos = p.first_pos;
+      im.tok_node[id] = node;
+      im.tok_first[id] = p.first_pos;
     }
-    auto& members = im.tokens[group->second].members;
+    auto& members = im.tok_members[group->second];
     if (!members.empty() && members.back().hi == k) {
       members.back().hi = k + 1;  // k ascends, so runs coalesce in place
     } else {
@@ -426,8 +515,17 @@ void TrieCounter::restore(std::span<const EpisodeProgress> progress) {
   }
   for (auto& set : im.idle) normalize(set);
   // No member can be a terminal of its node (state < level always, since the
-  // automaton resets on accept), so arrive() only files and arms deadlines.
-  for (const auto& [key, id] : groups) im.arrive(id, *trie_, expiry_, ops_);
+  // automaton resets on accept), so arrive() only files.  Restored deadlines
+  // are one sorted batch; every future root dispatch is at a later stream
+  // position than any restored first_pos, so the FIFO stays monotone.
+  for (const auto& [key, id] : groups) {
+    if (expiry_.enabled()) {
+      im.deadlines.push_back(deadline_at(im.tok_first[id], expiry_.window));
+      ++ops_.heap_ops;
+    }
+    im.arrive(id, *trie_, ops_);
+  }
+  std::sort(im.deadlines.begin(), im.deadlines.end());
 }
 
 std::vector<EpisodeProgress> TrieCounter::progress() const {
@@ -444,12 +542,12 @@ std::vector<EpisodeProgress> TrieCounter::progress() const {
   const std::span<const std::uint32_t> order = trie_->order();
   std::vector<EpisodeProgress> out(order.size());
   for (std::size_t k = 0; k < order.size(); ++k) out[order[k]] = {im.counts[k], 0, 0};
-  for (const Token& token : im.tokens) {
-    if (token.members.empty()) continue;  // released onto the free list
-    const std::int32_t depth = trie_->node(token.node).depth;
-    for (const Interval& iv : token.members) {
+  for (std::size_t id = 0; id < im.tok_members.size(); ++id) {
+    if (im.tok_members[id].empty()) continue;  // released onto the free list
+    const std::int32_t depth = trie_->node(im.tok_node[id]).depth;
+    for (const Interval& iv : im.tok_members[id]) {
       for (std::uint32_t k = iv.lo; k < iv.hi; ++k) {
-        out[order[k]].first_pos = token.first_pos;
+        out[order[k]].first_pos = im.tok_first[id];
         out[order[k]].state = depth;
       }
     }
@@ -471,9 +569,7 @@ std::vector<std::int64_t> count_all_trie_scan(std::span<const Episode> episodes,
   if (episodes.empty()) return {};
   TrieCounter counter(episodes, semantics, expiry,
                       static_cast<std::int64_t>(database.size()));
-  for (std::size_t i = 0; i < database.size(); ++i) {
-    counter.advance(database[i], static_cast<std::int64_t>(i));
-  }
+  counter.advance_batch(database, 0);
   return counter.counts();
 }
 

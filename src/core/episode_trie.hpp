@@ -117,6 +117,11 @@ class TrieCounter {
 
   void advance(Symbol symbol, std::int64_t pos);
 
+  /// Feed a contiguous batch: symbols[i] is at position start_pos + i.
+  /// Exactly equivalent to advancing one symbol at a time; the dense
+  /// fallback runs symbols innermost per automaton.
+  void advance_batch(std::span<const Symbol> symbols, std::int64_t start_pos);
+
   /// Reinstate captured per-episode progress (ORIGINAL input order, parallel
   /// to the construction episode list); must be called before the first
   /// advance().  In-flight episodes regroup into shared-prefix tokens — two

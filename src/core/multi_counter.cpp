@@ -1,38 +1,14 @@
 #include "core/multi_counter.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
-#include <queue>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace gm::core {
 namespace {
-
-// One episode automaton flattened for the bucket index.  `gen` invalidates
-// bucket entries left behind when the automaton moves without being processed
-// from its bucket (expiry re-bucketing).
-struct Slot {
-  std::span<const Symbol> episode;
-  std::int64_t count = 0;
-  std::int64_t first_pos = 0;
-  std::uint64_t gen = 0;  // 64-bit: cannot wrap within an int64-indexed stream
-  int state = 0;
-};
-
-struct BucketEntry {
-  std::uint32_t slot = 0;
-  std::uint64_t gen = 0;
-};
-
-// Pending expiry deadline for slot `slot`'s in-flight match.  Validated on
-// pop against the slot's live first_pos (a completed-and-restarted match has
-// a different deadline), so no generation is needed here.
-struct Deadline {
-  std::int64_t at = 0;
-  std::uint32_t slot = 0;
-  friend bool operator>(const Deadline& a, const Deadline& b) { return a.at > b.at; }
-};
 
 // Deadlines are first_pos + window with a user-supplied window, so saturate
 // instead of overflowing: a deadline at int64 max never fires, exactly like
@@ -45,70 +21,186 @@ std::int64_t deadline_at(std::int64_t first_pos, std::int64_t window) {
 
 }  // namespace
 
-// Engine state behind MultiCounter.  The dense path (kContiguousRestart,
-// whose mismatch edges let any symbol transition any in-flight automaton and
-// so defeat a waiting-symbol index) keeps one automaton per episode; the
-// sparse path keeps the symbol -> waiting-slot bucket index.
+// Engine state behind MultiCounter, struct-of-arrays: every per-episode
+// record lives in parallel arrays indexed by a dense slot id, episode symbols
+// are concatenated into one arena (`sym_pool`), and nothing is allocated per
+// event — buckets and the deadline queue reach a steady-state capacity and
+// stay there.
+//
+// Sparse-path invariant: every slot is filed in exactly one bucket, the one
+// for the symbol it currently awaits (episode[state]), with `pos_in_bucket`
+// as the backreference enabling O(1) swap-remove when expiry moves it.  That
+// single-membership discipline replaces the old generation-tagged lazy
+// invalidation: a bucket never holds stale entries, so the drain loop touches
+// only live work.
+//
+// Expiry deadlines form a monotone queue: a deadline is pushed at match start
+// with `pos + window`, and positions strictly increase, so pushes arrive in
+// nondecreasing order and a FIFO scan replaces the old binary heap.  Pops
+// validate against the slot's live first_pos (a completed-and-restarted match
+// has a different deadline), exactly as the heap version did.  restore() is
+// the one producer of unordered deadlines; it sorts its batch once, and every
+// later push lands at or after the restored horizon (restored first_pos
+// precede all future stream positions).
+//
+// The dense path (kContiguousRestart, whose mismatch edges let any symbol
+// transition any in-flight automaton and so defeat a waiting-symbol index)
+// keeps the same SoA arrays and steps every slot per symbol; its batch drive
+// runs symbols innermost per slot so the episode's arena slice and the
+// slot's scalars stay register/L1-resident across the whole batch.
 struct MultiCounter::Impl {
   Semantics semantics = Semantics::kNonOverlappedSubsequence;
   ExpiryPolicy expiry;
+  bool dense = false;
 
-  // Sparse path.
-  std::vector<Slot> slots;
-  std::vector<std::vector<BucketEntry>> buckets;  // direct-mapped: Symbol is 8-bit
-  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> deadlines;
-  std::vector<BucketEntry> scratch;
+  // SoA arena, indexed by slot id (== episode index in construction order).
+  std::vector<Symbol> sym_pool;          // all episode symbols, concatenated
+  std::vector<std::uint32_t> ep_off;     // slot -> offset into sym_pool
+  std::vector<std::uint32_t> ep_len;     // slot -> episode level
+  std::vector<std::int64_t> counts;      // slot -> accepted occurrences
+  std::vector<std::int64_t> first_pos;   // slot -> first matched position
+  std::vector<std::int32_t> states;      // slot -> matched-symbol count
+  std::vector<std::uint32_t> in_bucket;  // slot -> index within its bucket
 
-  // Dense fallback.
-  std::vector<EpisodeAutomaton> dense_automata;
-  std::vector<std::int64_t> dense_counts;
+  // Sparse path: symbol -> slots awaiting it (direct-mapped, Symbol is 8-bit).
+  std::array<std::vector<std::uint32_t>, 256> buckets;
+  std::vector<std::uint32_t> scratch;
 
-  [[nodiscard]] bool dense() const { return !dense_automata.empty(); }
+  // Monotone deadline FIFO: live window is [deadline_head, deadlines.size()).
+  struct Deadline {
+    std::int64_t at = 0;
+    std::uint32_t slot = 0;
+  };
+  std::vector<Deadline> deadlines;
+  std::size_t deadline_head = 0;
 
-  void advance_sparse(Symbol s, std::int64_t pos) {
-    // Expire matches that can no longer finish by this position: the serial
-    // automaton resets them at step time, so they must be back in their
-    // episode[0] bucket before this symbol is dispatched.
-    if (expiry.enabled()) {
-      while (!deadlines.empty() && deadlines.top().at <= pos) {
-        const Deadline d = deadlines.top();
-        deadlines.pop();
-        Slot& slot = slots[d.slot];
-        if (slot.state > 0 && deadline_at(slot.first_pos, expiry.window) == d.at) {
-          slot.state = 0;
-          ++slot.gen;  // the entry still filed under the old awaited symbol dies
-          buckets[slot.episode[0]].push_back({d.slot, slot.gen});
-        }
+  [[nodiscard]] std::size_t slot_count() const { return ep_len.size(); }
+  [[nodiscard]] bool deadlines_empty() const { return deadline_head == deadlines.size(); }
+
+  /// Append `slot` to the bucket for `s`, recording the backreference.
+  void file(std::uint32_t slot, Symbol s) {
+    auto& bucket = buckets[s];
+    in_bucket[slot] = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back(slot);
+  }
+
+  /// Swap-remove `slot` from the bucket it is currently filed in.
+  void unfile(std::uint32_t slot) {
+    auto& bucket = buckets[sym_pool[ep_off[slot] + static_cast<std::uint32_t>(states[slot])]];
+    const std::uint32_t hole = in_bucket[slot];
+    const std::uint32_t moved = bucket.back();
+    bucket[hole] = moved;
+    in_bucket[moved] = hole;
+    bucket.pop_back();
+  }
+
+  /// Push a deadline, preserving FIFO order.  Pushes are monotone along any
+  /// legal advance() sequence; the sorted-insert fallback only runs if a
+  /// caller feeds non-increasing positions, keeping expiry correct anyway.
+  void push_deadline(std::int64_t at, std::uint32_t slot) {
+    if (deadlines.empty() || at >= deadlines.back().at) {
+      deadlines.push_back({at, slot});
+      return;
+    }
+    const auto it = std::upper_bound(
+        deadlines.begin() + static_cast<std::ptrdiff_t>(deadline_head), deadlines.end(), at,
+        [](std::int64_t value, const Deadline& d) { return value < d.at; });
+    deadlines.insert(it, {at, slot});
+  }
+
+  /// Reset every match that can no longer finish by `pos`: the serial
+  /// automaton resets them at step time, so they must be back in their
+  /// episode[0] bucket before this symbol is dispatched.  A linear pass over
+  /// the due prefix of the deadline FIFO; first_pos deliberately survives
+  /// the reset (the serial automaton keeps it too — progress() must match).
+  void expire_due(std::int64_t pos) {
+    while (deadline_head < deadlines.size() && deadlines[deadline_head].at <= pos) {
+      const Deadline d = deadlines[deadline_head++];
+      if (states[d.slot] > 0 && deadline_at(first_pos[d.slot], expiry.window) == d.at) {
+        unfile(d.slot);
+        states[d.slot] = 0;
+        file(d.slot, sym_pool[ep_off[d.slot]]);
       }
     }
+    // Amortized O(1) compaction keeps the FIFO's memory bounded by the live
+    // entry count instead of growing with stream length.
+    if (deadline_head > 1024 && deadline_head * 2 >= deadlines.size()) {
+      deadlines.erase(deadlines.begin(),
+                      deadlines.begin() + static_cast<std::ptrdiff_t>(deadline_head));
+      deadline_head = 0;
+    }
+  }
 
+  void advance_sparse(Symbol s, std::int64_t pos) {
+    if (expiry.enabled() && !deadlines_empty()) expire_due(pos);
     auto& bucket = buckets[s];
     if (bucket.empty()) return;
     // Swap the bucket out before advancing: an automaton whose next awaited
     // symbol is also `s` (repeated-symbol episode) must re-file for the NEXT
     // occurrence, not be stepped twice on this one.
     scratch.swap(bucket);
-    for (const BucketEntry entry : scratch) {
-      Slot& slot = slots[entry.slot];
-      if (slot.gen != entry.gen) continue;  // stale: expired/re-bucketed since
-      if (slot.state == 0) {
-        slot.first_pos = pos;
+    const Symbol* const pool = sym_pool.data();
+    const bool deadline_needed = expiry.enabled();
+    for (const std::uint32_t slot : scratch) {
+      std::uint32_t st = static_cast<std::uint32_t>(states[slot]);
+      const std::uint32_t off = ep_off[slot];
+      if (st == 0) {
+        first_pos[slot] = pos;
         // Level-1 episodes complete in this same step, so a deadline could
-        // never fire usefully — don't flood the heap with one per match.
-        if (expiry.enabled() && slot.episode.size() > 1) {
-          deadlines.push({deadline_at(pos, expiry.window), entry.slot});
+        // never fire usefully — don't flood the queue with one per match.
+        if (deadline_needed && ep_len[slot] > 1) {
+          push_deadline(deadline_at(pos, expiry.window), slot);
         }
       }
-      ++slot.state;
-      ++slot.gen;
-      if (slot.state == static_cast<int>(slot.episode.size())) {
-        ++slot.count;
-        slot.state = 0;
+      ++st;
+      if (st == ep_len[slot]) {
+        ++counts[slot];
+        st = 0;
       }
-      buckets[slot.episode[static_cast<std::size_t>(slot.state)]].push_back(
-          {entry.slot, slot.gen});
+      states[slot] = static_cast<std::int32_t>(st);
+      file(slot, pool[off + st]);
     }
     scratch.clear();
+  }
+
+  /// Dense batch drive: symbols innermost so each slot's episode slice and
+  /// scalars stay hot across the whole batch (one pass over the slot arrays
+  /// per batch instead of one per symbol).
+  void advance_dense_batch(std::span<const Symbol> symbols, std::int64_t start_pos) {
+    const Symbol* const pool = sym_pool.data();
+    const bool expiring = expiry.enabled();
+    const std::int64_t window = expiry.window;
+    for (std::size_t slot = 0; slot < slot_count(); ++slot) {
+      const Symbol* const ep = pool + ep_off[slot];
+      const auto len = static_cast<std::int32_t>(ep_len[slot]);
+      std::int32_t st = states[slot];
+      std::int64_t fp = first_pos[slot];
+      std::int64_t accepted = 0;
+      for (std::size_t i = 0; i < symbols.size(); ++i) {
+        const Symbol s = symbols[i];
+        const std::int64_t pos = start_pos + static_cast<std::int64_t>(i);
+        if (expiring && st > 0 && pos - fp >= window) st = 0;
+        if (s == ep[st]) {
+          if (st == 0) fp = pos;
+          if (++st == len) {
+            ++accepted;
+            st = 0;
+          }
+        } else if (st != 0) {
+          // Figure 3: mismatches fall back to start, except that a symbol
+          // equal to a1 restarts the match at state 1.
+          if (s == ep[0]) {
+            st = 1;
+            fp = pos;
+          } else {
+            st = 0;
+          }
+        }
+      }
+      states[slot] = st;
+      first_pos[slot] = fp;
+      counts[slot] += accepted;
+    }
   }
 };
 
@@ -118,25 +210,32 @@ MultiCounter::MultiCounter(std::span<const Episode> episodes, Semantics semantic
   for (const auto& e : episodes) gm::expects(!e.empty(), "cannot count an empty episode");
   gm::expects(episodes.size() <= std::numeric_limits<std::uint32_t>::max(),
               "too many episodes for the single-scan index");
-  impl_->semantics = semantics;
-  impl_->expiry = expiry;
+  Impl& im = *impl_;
+  im.semantics = semantics;
+  im.expiry = expiry;
+  im.dense = semantics == Semantics::kContiguousRestart;
 
-  if (semantics == Semantics::kContiguousRestart) {
-    impl_->dense_automata.reserve(episodes.size());
-    for (const auto& e : episodes) {
-      impl_->dense_automata.emplace_back(e.symbols(), semantics, expiry);
-    }
-    impl_->dense_counts.assign(episodes.size(), 0);
-    return;
+  const auto n = static_cast<std::uint32_t>(episodes.size());
+  im.ep_off.reserve(n);
+  im.ep_len.reserve(n);
+  std::size_t total_symbols = 0;
+  for (const auto& e : episodes) total_symbols += e.symbols().size();
+  gm::expects(total_symbols <= std::numeric_limits<std::uint32_t>::max(),
+              "episode symbols overflow the arena index");
+  im.sym_pool.reserve(total_symbols);
+  for (const auto& e : episodes) {
+    im.ep_off.push_back(static_cast<std::uint32_t>(im.sym_pool.size()));
+    im.ep_len.push_back(static_cast<std::uint32_t>(e.symbols().size()));
+    im.sym_pool.insert(im.sym_pool.end(), e.symbols().begin(), e.symbols().end());
   }
+  im.counts.assign(n, 0);
+  im.first_pos.assign(n, 0);
+  im.states.assign(n, 0);
+  if (im.dense) return;
 
-  impl_->buckets.resize(256);
-  impl_->slots.reserve(episodes.size());
-  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(episodes.size()); ++i) {
-    Slot slot;
-    slot.episode = episodes[i].symbols();
-    impl_->slots.push_back(slot);
-    impl_->buckets[impl_->slots[i].episode[0]].push_back({i, 0});
+  im.in_bucket.assign(n, 0);
+  for (std::uint32_t slot = 0; slot < n; ++slot) {
+    im.file(slot, im.sym_pool[im.ep_off[slot]]);
   }
 }
 
@@ -146,83 +245,94 @@ MultiCounter::~MultiCounter() = default;
 
 void MultiCounter::restore(std::span<const EpisodeProgress> progress) {
   Impl& im = *impl_;
-  if (im.dense()) {
-    gm::expects(progress.size() == im.dense_automata.size(),
-                "progress list must match the episode list");
-    for (std::size_t i = 0; i < progress.size(); ++i) {
-      im.dense_automata[i].restore(progress[i].state, progress[i].first_pos);
-      im.dense_counts[i] = progress[i].count;
-    }
-    return;
-  }
-  gm::expects(progress.size() == im.slots.size(), "progress list must match the episode list");
-  for (auto& bucket : im.buckets) bucket.clear();
-  gm::expects(im.deadlines.empty(), "restore() must precede the first advance()");
-  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(im.slots.size()); ++i) {
-    Slot& slot = im.slots[i];
-    const EpisodeProgress& p = progress[i];
-    gm::expects(p.state >= 0 && p.state < static_cast<int>(slot.episode.size()),
+  gm::expects(progress.size() == im.slot_count(), "progress list must match the episode list");
+  for (std::size_t slot = 0; slot < progress.size(); ++slot) {
+    const EpisodeProgress& p = progress[slot];
+    gm::expects(p.state >= 0 && p.state < static_cast<int>(im.ep_len[slot]),
                 "restored state outside the episode's automaton");
-    slot.count = p.count;
-    slot.state = p.state;
-    slot.first_pos = p.first_pos;
-    im.buckets[slot.episode[static_cast<std::size_t>(slot.state)]].push_back({i, slot.gen});
-    if (slot.state > 0 && im.expiry.enabled()) {
-      im.deadlines.push({deadline_at(slot.first_pos, im.expiry.window), i});
+    im.counts[slot] = p.count;
+    im.states[slot] = p.state;
+    im.first_pos[slot] = p.first_pos;
+  }
+  if (im.dense) return;
+
+  gm::expects(im.deadlines_empty(), "restore() must precede the first advance()");
+  for (auto& bucket : im.buckets) bucket.clear();
+  for (std::uint32_t slot = 0; slot < static_cast<std::uint32_t>(progress.size()); ++slot) {
+    im.file(slot,
+            im.sym_pool[im.ep_off[slot] + static_cast<std::uint32_t>(im.states[slot])]);
+    if (im.states[slot] > 0 && im.expiry.enabled()) {
+      im.deadlines.push_back({deadline_at(im.first_pos[slot], im.expiry.window), slot});
     }
   }
+  // One sort re-establishes the monotone-FIFO invariant: every future push
+  // is at a strictly later stream position than any restored first_pos.
+  std::sort(im.deadlines.begin(), im.deadlines.end(),
+            [](const Impl::Deadline& a, const Impl::Deadline& b) { return a.at < b.at; });
 }
 
 void MultiCounter::advance(Symbol symbol, std::int64_t pos) {
   Impl& im = *impl_;
-  if (im.dense()) {
-    for (std::size_t a = 0; a < im.dense_automata.size(); ++a) {
-      if (im.dense_automata[a].step(symbol, pos)) ++im.dense_counts[a];
-    }
+  if (im.dense) {
+    im.advance_dense_batch({&symbol, 1}, pos);
     return;
   }
   im.advance_sparse(symbol, pos);
 }
 
-std::vector<std::int64_t> MultiCounter::counts() const {
+void MultiCounter::advance_batch(std::span<const Symbol> symbols, std::int64_t start_pos) {
+  Impl& im = *impl_;
+  if (im.dense) {
+    im.advance_dense_batch(symbols, start_pos);
+    return;
+  }
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    im.advance_sparse(symbols[i], start_pos + static_cast<std::int64_t>(i));
+  }
+}
+
+void MultiCounter::reset() {
+  Impl& im = *impl_;
+  std::fill(im.counts.begin(), im.counts.end(), 0);
+  std::fill(im.first_pos.begin(), im.first_pos.end(), 0);
+  std::fill(im.states.begin(), im.states.end(), 0);
+  im.deadlines.clear();
+  im.deadline_head = 0;
+  if (im.dense) return;
+  for (auto& bucket : im.buckets) bucket.clear();
+  for (std::uint32_t slot = 0; slot < static_cast<std::uint32_t>(im.slot_count()); ++slot) {
+    im.file(slot, im.sym_pool[im.ep_off[slot]]);
+  }
+}
+
+std::vector<std::int64_t> MultiCounter::counts() const { return impl_->counts; }
+
+EpisodeProgress MultiCounter::progress_of(std::size_t episode) const {
   const Impl& im = *impl_;
-  if (im.dense()) return im.dense_counts;
-  std::vector<std::int64_t> counts;
-  counts.reserve(im.slots.size());
-  for (const Slot& slot : im.slots) counts.push_back(slot.count);
-  return counts;
+  gm::expects(episode < im.slot_count(), "episode index out of range");
+  return {im.counts[episode], im.first_pos[episode], im.states[episode]};
 }
 
 std::vector<EpisodeProgress> MultiCounter::progress() const {
   const Impl& im = *impl_;
-  std::vector<EpisodeProgress> progress;
-  if (im.dense()) {
-    progress.reserve(im.dense_automata.size());
-    for (std::size_t a = 0; a < im.dense_automata.size(); ++a) {
-      progress.push_back({im.dense_counts[a], im.dense_automata[a].first_match_pos(),
-                          im.dense_automata[a].state()});
-    }
-    return progress;
-  }
-  progress.reserve(im.slots.size());
-  for (const Slot& slot : im.slots) {
-    progress.push_back({slot.count, slot.first_pos, slot.state});
+  std::vector<EpisodeProgress> progress(im.slot_count());
+  GM_SIMD_LOOP
+  for (std::size_t slot = 0; slot < progress.size(); ++slot) {
+    progress[slot].count = im.counts[slot];
+    progress[slot].first_pos = im.first_pos[slot];
+    progress[slot].state = im.states[slot];
   }
   return progress;
 }
 
-std::size_t MultiCounter::episode_count() const {
-  return impl_->dense() ? impl_->dense_automata.size() : impl_->slots.size();
-}
+std::size_t MultiCounter::episode_count() const { return impl_->slot_count(); }
 
 std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episodes,
                                                 std::span<const Symbol> database,
                                                 Semantics semantics, ExpiryPolicy expiry) {
   if (episodes.empty()) return {};
   MultiCounter counter(episodes, semantics, expiry);
-  for (std::size_t i = 0; i < database.size(); ++i) {
-    counter.advance(database[i], static_cast<std::int64_t>(i));
-  }
+  counter.advance_batch(database, 0);
   return counter.counts();
 }
 
@@ -235,9 +345,7 @@ std::vector<std::int64_t> count_all_single_scan(std::span<const Episode> episode
     return {};
   }
   MultiCounter counter(episodes, semantics, expiry);
-  for (std::size_t i = 0; i < database.size(); ++i) {
-    counter.advance(database[i], static_cast<std::int64_t>(i));
-  }
+  counter.advance_batch(database, 0);
   const std::vector<EpisodeProgress> progress = counter.progress();
   exits.assign(progress.size(), {});
   for (std::size_t a = 0; a < progress.size(); ++a) {

@@ -10,12 +10,18 @@
 // |candidates|.  This is the accelerator-oriented transformation of the
 // counting step — one stream drive, many machines — applied on the host.
 //
+// The engine state is struct-of-arrays: per-episode records live in parallel
+// arrays indexed by dense slot ids, episode symbols sit in one contiguous
+// arena, and buckets are flat index vectors — nothing is allocated per event.
+//
 // Episode expiry (ExpiryPolicy) is handled with lazy deadlines: starting a
-// match schedules `first_pos + window` on a min-heap, and before each stream
-// position every automaton whose deadline has passed is reset and re-bucketed
-// to await episode[0] again (it must be able to catch a fresh first symbol
-// even though its old awaited symbol never arrived).  Stale bucket entries
-// left behind by expiry are invalidated by a per-automaton generation counter.
+// match schedules `first_pos + window` on a monotone FIFO (pushes arrive in
+// nondecreasing order because positions strictly increase), and before each
+// stream position every automaton whose deadline has passed is reset and
+// re-bucketed to await episode[0] again (it must be able to catch a fresh
+// first symbol even though its old awaited symbol never arrived).  Each slot
+// is filed in exactly one bucket with a backreference, so expiry moves it by
+// O(1) swap-remove and buckets never hold stale entries.
 //
 // kContiguousRestart semantics are served by a dense per-episode path: its
 // mismatch edges mean *every* symbol can transition any in-flight automaton,
@@ -98,11 +104,26 @@ class MultiCounter {
   /// Feed the symbol at absolute position `pos` (strictly increasing).
   void advance(Symbol symbol, std::int64_t pos);
 
+  /// Feed a contiguous batch: symbols[i] is at position start_pos + i.
+  /// Exactly equivalent to advancing one symbol at a time, but lets the
+  /// engine amortize dispatch — the dense path runs symbols innermost per
+  /// slot so episode data stays register/L1-resident across the batch.
+  void advance_batch(std::span<const Symbol> symbols, std::int64_t start_pos);
+
+  /// Reset to the freshly-constructed state (counts zeroed, every automaton
+  /// idle) without releasing the arena: the episode pool, buckets, and
+  /// deadline queue keep their capacity, so a worker can scan many chunks
+  /// with zero per-chunk allocation.
+  void reset();
+
   /// Per-episode counts in construction order.
   [[nodiscard]] std::vector<std::int64_t> counts() const;
 
   /// Per-episode scan configuration, sufficient to restore() later.
   [[nodiscard]] std::vector<EpisodeProgress> progress() const;
+
+  /// One episode's scan configuration, allocation-free.
+  [[nodiscard]] EpisodeProgress progress_of(std::size_t episode) const;
 
   [[nodiscard]] std::size_t episode_count() const;
 

@@ -69,10 +69,11 @@ StreamScan::~StreamScan() = default;
 
 void StreamScan::feed(std::span<const Symbol> events) {
   if (trie_.has_value()) {
-    for (const Symbol s : events) trie_->advance(s, high_water_++);
+    trie_->advance_batch(events, high_water_);
   } else {
-    for (const Symbol s : events) flat_->advance(s, high_water_++);
+    flat_->advance_batch(events, high_water_);
   }
+  high_water_ += static_cast<std::int64_t>(events.size());
   prefix_digest_ = stream_digest_extend(prefix_digest_, events);
 }
 

@@ -174,6 +174,11 @@ std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantic
   std::int64_t rescanned = 0;
   int state = entry_state;
   std::int64_t first_pos = entry_first_pos;
+  // One automaton pair for the whole fold, re-armed per boundary rescan via
+  // restore()/reset() — chunks that need no replay (state 0 entry) construct
+  // nothing at all.
+  EpisodeAutomaton truth(episode, semantics, expiry);
+  EpisodeAutomaton twin(episode, semantics, expiry);
   for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
     if (state == 0) {
       total += cold[c].count;
@@ -183,9 +188,8 @@ std::int64_t fold_cold_scans(std::span<const Symbol> episode, Semantics semantic
     }
     // Lockstep replay: the true automaton (restored) and a cold twin step
     // together; once they agree the cold scan's remainder is the truth.
-    EpisodeAutomaton truth(episode, semantics, expiry);
     truth.restore(state, first_pos);
-    EpisodeAutomaton twin(episode, semantics, expiry);
+    twin.reset();
     std::int64_t true_count = 0;
     std::int64_t twin_count = 0;
     bool converged = false;

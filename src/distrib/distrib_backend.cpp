@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -76,9 +77,14 @@ core::CountResult DistribBackend::count(const core::CountRequest& request) {
   const std::size_t episode_count = request.episodes.size();
 
   // Map phase: every chunk scanned cold by whichever worker claims it.  All
-  // writes are chunk-private slots read only after the scheduler joins.
+  // writes are chunk-private slots read only after the scheduler joins; each
+  // worker keeps one single-scan arena across every chunk it claims (reset()
+  // re-files the automata but keeps all capacity), so the map phase allocates
+  // per worker, not per chunk.
   std::vector<std::vector<core::SegmentOutcome>> cold(static_cast<std::size_t>(chunks));
-  telemetry_.steal = run_sharded(plan, [&](int /*worker*/, int chunk, std::int64_t begin,
+  std::vector<std::optional<core::MultiCounter>> arenas(
+      static_cast<std::size_t>(options_.shards));
+  telemetry_.steal = run_sharded(plan, [&](int worker, int chunk, std::int64_t begin,
                                            std::int64_t end) {
     auto& out = cold[static_cast<std::size_t>(chunk)];
     out.assign(episode_count, {});
@@ -96,11 +102,16 @@ core::CountResult DistribBackend::count(const core::CountRequest& request) {
     const auto span =
         request.database.subspan(static_cast<std::size_t>(begin),
                                  static_cast<std::size_t>(end - begin));
-    std::vector<core::ScanExit> exits;
-    const auto counts = core::count_all_single_scan(request.episodes, span,
-                                                    request.semantics, request.expiry, exits);
+    auto& arena = arenas[static_cast<std::size_t>(worker)];
+    if (arena.has_value()) {
+      arena->reset();
+    } else {
+      arena.emplace(request.episodes, request.semantics, request.expiry);
+    }
+    arena->advance_batch(span, 0);
     for (std::size_t e = 0; e < episode_count; ++e) {
-      out[e] = {counts[e], exits[e].state, exits[e].first_match_pos + begin};
+      const core::EpisodeProgress p = arena->progress_of(e);
+      out[e] = {p.count, p.state, p.first_pos + begin};
     }
   });
 

@@ -120,31 +120,33 @@ double predict_cpu_trie_ms(const Workload& w, const CpuCostConstants& c) {
 double predict_cpu_distrib_ms(const Workload& w, int shards, const CpuCostConstants& c) {
   gm::expects(shards >= 1, "cpu cost model needs a positive shard count");
   const int chunks = shards * kPlannedStealGranularity;
-  const double chunk_symbols =
-      static_cast<double>(w.db_size) / static_cast<double>(chunks);
 
   // Map: each worker cold-scans its claimed chunks with the single-scan
   // engine; stealing keeps the split near-perfect, so divide by shards.
   const double map_ms = predict_cpu_single_scan_ms(w, c) / static_cast<double>(shards);
 
   // Reduce: one fold step per (episode, chunk), plus the expected serial
-  // rescan where a chunk boundary lands inside a live match.  Under expiry
-  // the twin replay converges within the window (a live match older than the
-  // window resets); without it, within roughly one automaton reset distance
-  // (level * alphabet symbols between drains).  Both are capped by the chunk.
+  // rescan where a chunk boundary lands inside a live match.
   const double fold_ms = static_cast<double>(w.episode_count) *
                          static_cast<double>(chunks) * c.distrib_merge_ns * kNsToMs;
+  const double steal_ms = static_cast<double>(chunks) * c.distrib_steal_ns * kNsToMs;
+  return map_ms + fold_ms + distrib_rescan_ms(w, chunks, c) + steal_ms + spawn_ms(shards, c);
+}
+
+double distrib_rescan_ms(const Workload& w, int chunks, const CpuCostConstants& c) {
+  gm::expects(chunks >= 1, "cpu cost model needs a positive chunk count");
+  // Under expiry the twin replay converges within the window (a live match
+  // older than the window resets); without it, within roughly one automaton
+  // reset distance (level * alphabet symbols between drains).  Both are
+  // capped by the chunk itself.
+  const double chunk_symbols =
+      static_cast<double>(w.db_size) / static_cast<double>(chunks);
   const double reset_distance = w.expiry.enabled()
                                     ? static_cast<double>(w.expiry.window)
                                     : static_cast<double>(w.level) *
                                           static_cast<double>(w.alphabet_size);
-  const double rescan_ms = static_cast<double>(w.episode_count) *
-                           static_cast<double>(chunks - 1) *
-                           std::min(reset_distance, chunk_symbols) * c.distrib_rescan_ns *
-                           kNsToMs;
-
-  const double steal_ms = static_cast<double>(chunks) * c.distrib_steal_ns * kNsToMs;
-  return map_ms + fold_ms + rescan_ms + steal_ms + spawn_ms(shards, c);
+  return static_cast<double>(w.episode_count) * static_cast<double>(chunks - 1) *
+         std::min(reset_distance, chunk_symbols) * c.distrib_rescan_ns * kNsToMs;
 }
 
 }  // namespace gm::planner

@@ -40,27 +40,31 @@ struct CpuCostConstants {
   double serial_expiry_step_ns = 2.0;
   /// One (entry-state, symbol) step of segment_transfer in the sharded map.
   double sharded_step_ns = 1.9;
-  /// Single-scan per-position bucket probe (hash of the scanned symbol +
-  /// expiry-deadline peek).
-  double scan_probe_ns = 3.0;
-  /// Single-scan per drained automaton (pop, generation check, step, refile).
-  double scan_drain_ns = 12.0;
-  /// Dense contiguous-restart path: one automaton step per (symbol, episode).
-  double scan_dense_step_ns = 1.5;
+  /// Single-scan per-position bucket probe (flat bucket-vector load + a
+  /// deadline-queue front check; the SoA arena has no hashing or heap peek).
+  double scan_probe_ns = 2.0;
+  /// Single-scan per drained automaton (swap-out, tight arena-pointer step,
+  /// O(1) refile).  Slightly above the pre-SoA constant on paper because the
+  /// old value was fitted against an engine whose per-position overheads hid
+  /// in the probe term; refit with the arena layout (see calib/).
+  double scan_drain_ns = 16.0;
+  /// Dense contiguous-restart path: one automaton step per (symbol, episode),
+  /// batched symbols-innermost so the episode stays register-resident.
+  double scan_dense_step_ns = 1.2;
   /// Trie scan per drained shared-prefix token (child lookup + the interval
-  /// split moving the survivors one trie level deeper).  An order of
-  /// magnitude above scan_drain_ns: the token machinery allocates and splits
-  /// interval sets where the flat engine steps an integer, so on the host
-  /// the compression rarely pays — the shared-prefix win belongs to the
-  /// device formulation (gpusim-algo5-trie), whose per-drain charge is a few
-  /// instructions.  Kept honest so the planner does not manufacture regret.
-  double trie_drain_ns = 150.0;
-  /// Trie scan per completed episode occurrence (count bump + membership
-  /// removal + idle-interval return).  Accepts are per episode — prefix
-  /// sharing cannot compress them.
-  double trie_accept_ns = 25.0;
-  /// Expiry bookkeeping per match start (deadline heap push + eventual pop).
-  double expiry_heap_ns = 80.0;
+  /// split moving the survivors one trie level deeper).  Still a few times
+  /// scan_drain_ns — the pooled token arena removed the per-drain allocation,
+  /// but splitting interval sets remains heavier than stepping an integer —
+  /// so on the host the compression only pays at high prefix mass; the big
+  /// shared-prefix win belongs to the device formulation (gpusim-algo5-trie).
+  double trie_drain_ns = 50.0;
+  /// Trie scan per completed episode occurrence (count bump + swap-remove
+  /// from the compact live-token list + idle-interval return).  Accepts are
+  /// per episode — prefix sharing cannot compress them.
+  double trie_accept_ns = 10.0;
+  /// Expiry bookkeeping per match start (monotone deadline-FIFO append +
+  /// eventual pop-and-validate; was a binary heap before the SoA rewrite).
+  double expiry_heap_ns = 25.0;
   /// Spawn + join cost per worker thread.
   double thread_spawn_us = 60.0;
   /// Sharded fold: composing one (episode, shard) transfer outcome.
@@ -101,5 +105,13 @@ inline constexpr int kPlannedStealGranularity = 4;
 /// reset distance), and per-chunk steal/claim overhead.
 [[nodiscard]] double predict_cpu_distrib_ms(const Workload& w, int shards,
                                             const CpuCostConstants& c = {});
+
+/// Expected host-fold boundary fix-up for a `chunks`-way database split: the
+/// twin replay per (episode, interior boundary), bounded by the expiry
+/// window or the typical automaton reset distance.  Charged by both distrib
+/// flavors — counts always come from the host fold, so simulated-card
+/// candidates pay it too.
+[[nodiscard]] double distrib_rescan_ms(const Workload& w, int chunks,
+                                       const CpuCostConstants& c = {});
 
 }  // namespace gm::planner

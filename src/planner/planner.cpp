@@ -119,7 +119,10 @@ ScoredCandidate score_distrib(const Workload& w, int devices, bool gpu,
     return c;
   }
   c.feasible = true;
-  c.predicted_ms = best_ms;
+  // Counts come from the host fold even on simulated cards, so the card
+  // flavor pays the boundary fix-up too — on kernel-bound shapes it is
+  // noise, but it keeps tiny workloads from drifting onto the device axis.
+  c.predicted_ms = best_ms + distrib_rescan_ms(w, devices, options.cpu_constants);
   return c;
 }
 

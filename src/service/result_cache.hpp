@@ -60,12 +60,23 @@ class Digest {
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Capacity evictions of entries from the current database generation —
+  /// genuine LRU pressure on answers that could still hit.
   std::uint64_t evictions = 0;
+  /// Capacity evictions of entries left behind by a generation bump: their
+  /// keys mix an old generation, so they could never hit again and dropping
+  /// them loses nothing.  Previously folded into `evictions`, which made
+  /// append-heavy sessions look capacity-starved when they were not.
+  std::uint64_t stale_evictions = 0;
   /// Entries dropped by database reloads (clear() calls), not by capacity.
   std::uint64_t invalidations = 0;
 };
 
 /// Fixed-capacity LRU map from digest keys to cached response payloads.
+/// The owner reports its database generation via `set_generation` (appends
+/// bump it); entries inserted under an older generation are unreachable —
+/// every future key mixes the new generation — so their eventual LRU exit is
+/// counted as a `stale_eviction`, not capacity pressure.
 template <typename Value>
 class ResultCache {
  public:
@@ -80,24 +91,30 @@ class ResultCache {
     }
     order_.splice(order_.begin(), order_, it->second);
     ++stats_.hits;
-    return it->second->second;
+    return it->second->value;
   }
 
   void put(std::uint64_t key, Value value) {
     if (capacity_ == 0) return;
     if (const auto it = index_.find(key); it != index_.end()) {
-      it->second->second = std::move(value);
+      it->second->value = std::move(value);
+      it->second->generation = generation_;
       order_.splice(order_.begin(), order_, it->second);
       return;
     }
-    order_.emplace_front(key, std::move(value));
+    order_.emplace_front(Entry{key, generation_, std::move(value)});
     index_.emplace(key, order_.begin());
     if (index_.size() > capacity_) {
-      index_.erase(order_.back().first);
+      const Entry& victim = order_.back();
+      ++(victim.generation == generation_ ? stats_.evictions : stats_.stale_evictions);
+      index_.erase(victim.key);
       order_.pop_back();
-      ++stats_.evictions;
     }
   }
+
+  /// Owner's current database generation; entries put before the last bump
+  /// are stale by definition (their keys can never be asked for again).
+  void set_generation(std::uint64_t generation) noexcept { generation_ = generation; }
 
   /// Drop everything (database reload): counted as invalidations.
   void clear() {
@@ -111,10 +128,16 @@ class ResultCache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
 
  private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t generation;
+    Value value;
+  };
+
   std::size_t capacity_;
-  std::list<std::pair<std::uint64_t, Value>> order_;  ///< most recent first
-  std::unordered_map<std::uint64_t, typename std::list<std::pair<std::uint64_t, Value>>::iterator>
-      index_;
+  std::uint64_t generation_ = 0;
+  std::list<Entry> order_;  ///< most recent first
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator> index_;
   CacheStats stats_;
 };
 

@@ -132,6 +132,8 @@ void MiningSession::reload(data::Dataset dataset) {
   std::lock_guard cache_lock(cache_mutex_);
   mine_cache_.clear();
   count_cache_.clear();
+  mine_cache_.set_generation(generation_);
+  count_cache_.set_generation(generation_);
 }
 
 MiningSession::AppendOutcome MiningSession::append_events(std::span<const core::Symbol> events) {
@@ -150,7 +152,13 @@ MiningSession::AppendOutcome MiningSession::append_events(std::span<const core::
   refresh_symbol_freq_locked();
   // Deliberately no cache clear: the new generation is mixed into every
   // future cache key, so stale entries can never hit again — they simply age
-  // out of the LRU while still-valid old-generation lookups keep working.
+  // out of the LRU.  Telling the caches the new generation lets them book
+  // those exits as stale_evictions instead of capacity pressure.
+  {
+    std::lock_guard cache_lock(cache_mutex_);
+    mine_cache_.set_generation(generation_);
+    count_cache_.set_generation(generation_);
+  }
   AppendOutcome outcome;
   outcome.generation = generation_;
   outcome.database_size = static_cast<std::int64_t>(dataset_.events.size());

@@ -18,10 +18,18 @@ core::StreamScan make_scan(const MonitorSpec& spec) {
 }  // namespace
 
 StreamingMonitor::StreamingMonitor(MonitorSpec spec)
-    : spec_(std::move(spec)), scan_(make_scan(spec_)), fired_(spec_.episodes.size(), false) {}
+    : spec_(std::move(spec)),
+      scan_(make_scan(spec_)),
+      fired_(spec_.episodes.size(), false),
+      idle_batches_(spec_.episodes.size(), 0),
+      last_counts_(spec_.episodes.size(), 0) {}
 
 StreamingMonitor::StreamingMonitor(MonitorSpec spec, const core::ScanCheckpoint& checkpoint)
-    : spec_(std::move(spec)), scan_(checkpoint, spec_.engine), fired_(spec_.episodes.size()) {
+    : spec_(std::move(spec)),
+      scan_(checkpoint, spec_.engine),
+      fired_(spec_.episodes.size()),
+      idle_batches_(spec_.episodes.size(), 0),
+      last_counts_(spec_.episodes.size(), 0) {
   gm::expects(spec_.threshold >= 1, "monitor threshold must be at least 1");
   gm::expects(checkpoint.episodes.size() == spec_.episodes.size() &&
                   std::equal(checkpoint.episodes.begin(), checkpoint.episodes.end(),
@@ -37,6 +45,24 @@ void StreamingMonitor::arm_fired() {
   const std::vector<std::int64_t> counts = scan_.counts();
   last_total_ = std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
   for (std::size_t i = 0; i < counts.size(); ++i) fired_[i] = counts[i] >= spec_.threshold;
+  last_counts_ = counts;
+}
+
+void StreamingMonitor::evict_idle() {
+  // Capture the scan, drop the partial match of every long-idle episode, and
+  // restore.  The capture/restore path is the bit-exact one checkpoints use,
+  // so untouched episodes resume precisely where they were.
+  core::ScanCheckpoint ckpt = scan_.checkpoint();
+  bool any = false;
+  for (std::size_t i = 0; i < ckpt.progress.size(); ++i) {
+    if (ckpt.progress[i].state == 0) continue;
+    if (idle_batches_[i] < spec_.idle_eviction_generations) continue;
+    ckpt.progress[i].state = 0;
+    ckpt.progress[i].first_pos = 0;
+    ++idle_evictions_;
+    any = true;
+  }
+  if (any) scan_ = core::StreamScan(ckpt, spec_.engine);
 }
 
 void StreamingMonitor::on_append(std::span<const core::Symbol> events,
@@ -48,10 +74,13 @@ void StreamingMonitor::on_append(std::span<const core::Symbol> events,
                     total - last_total_});
   last_total_ = total;
   for (std::size_t i = 0; i < counts.size(); ++i) {
+    idle_batches_[i] = counts[i] == last_counts_[i] ? idle_batches_[i] + 1 : 0;
+    last_counts_[i] = counts[i];
     if (fired_[i] || counts[i] < spec_.threshold) continue;
     fired_[i] = true;
     alerts.push_back({spec_.name, i, counts[i], scan_.high_water(), generation});
   }
+  if (spec_.idle_eviction_generations > 0) evict_idle();
 }
 
 }  // namespace gm::service

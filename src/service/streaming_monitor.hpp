@@ -28,6 +28,15 @@ namespace gm::service {
 
 /// What to watch: an episode set under fixed scan parameters, alerting when
 /// any episode's count reaches `threshold`.
+///
+/// `idle_eviction_generations`, when positive, evicts the in-flight partial
+/// match of any episode whose count has not advanced for that many
+/// consecutive append batches: the automaton drops back to idle (count and
+/// alert latch untouched) so a long-dormant episode stops pinning mid-match
+/// state.  Eviction is per-episode — automata are independent in both scan
+/// engines — so episodes that keep advancing alert exactly as they would
+/// without eviction; only a dormant episode can lose an occurrence that
+/// would have straddled its idle stretch.  Zero disables eviction.
 struct MonitorSpec {
   std::string name;
   std::vector<core::Episode> episodes;
@@ -35,6 +44,7 @@ struct MonitorSpec {
   core::ExpiryPolicy expiry;
   std::int64_t threshold = 1;
   core::ScanEngine engine = core::ScanEngine::kSingleScan;
+  std::int64_t idle_eviction_generations = 0;
 };
 
 /// One threshold crossing.  `position` is the stream high-water mark after
@@ -80,14 +90,21 @@ class StreamingMonitor {
     return scan_.checkpoint(generation);
   }
 
+  /// Total in-flight partial matches dropped by idle eviction so far.
+  [[nodiscard]] std::int64_t idle_evictions() const { return idle_evictions_; }
+
  private:
   void arm_fired();
+  void evict_idle();
 
   MonitorSpec spec_;
   core::StreamScan scan_;
   std::vector<bool> fired_;  ///< alert-once latch, derived from counts on restore
   std::vector<MonitorTick> ticks_;
   std::int64_t last_total_ = 0;
+  std::vector<std::int64_t> idle_batches_;  ///< consecutive appends without a count advance
+  std::vector<std::int64_t> last_counts_;
+  std::int64_t idle_evictions_ = 0;
 };
 
 }  // namespace gm::service

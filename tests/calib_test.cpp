@@ -247,8 +247,8 @@ std::vector<FitSample> synthetic_cpu_samples(const CalibrationProfile& truth) {
 TEST(CalibrationFitter, RecoversPerturbedCpuConstantsFromSyntheticSamples) {
   CalibrationProfile truth;
   truth.cpu.serial_step_ns = 3.3;       // 3x the shipped 1.1
-  truth.cpu.scan_drain_ns = 30.0;       // 2.5x the shipped 12.0
-  truth.cpu.scan_dense_step_ns = 0.75;  // half the shipped 1.5
+  truth.cpu.scan_drain_ns = 30.0;       // just under 2x the shipped 16.0
+  truth.cpu.scan_dense_step_ns = 0.75;  // well under the shipped 1.2
   const std::vector<FitSample> samples = synthetic_cpu_samples(truth);
 
   CalibrationProfile fitted;

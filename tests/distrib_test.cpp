@@ -232,6 +232,16 @@ TEST(DistribBackendProperty, BitExactVsSerialAcrossShardsSemanticsExpiry) {
               << " worker=" << to_string(worker) << " window=" << window
               << " semantics=" << core::to_string(semantics);
           EXPECT_EQ(backend.last_run().chunks, shards * granularity);
+          // The fold's boundary fix-up replays at most the whole database per
+          // episode (lockstep convergence usually stops far earlier), and a
+          // single-chunk plan has no boundaries to fix at all.
+          const std::int64_t rescanned = backend.last_run().rescanned_symbols;
+          EXPECT_GE(rescanned, 0);
+          EXPECT_LE(rescanned, static_cast<std::int64_t>(episodes.size()) *
+                                   static_cast<std::int64_t>(db->size()));
+          if (shards * granularity == 1) {
+            EXPECT_EQ(rescanned, 0);
+          }
         }
       }
     }
@@ -253,6 +263,13 @@ TEST(DistribBackend, NameAndTelemetryDescribeTheRun) {
   request.episodes = episodes;
   (void)backend.count(request);
   EXPECT_EQ(backend.last_run().chunks, 8);
+  // Eight chunks means seven boundaries to reconcile: with level-2 episodes on
+  // a dense stream some automaton is always mid-match at a cut, so the fold
+  // must replay a nonzero (but bounded) number of symbols.
+  EXPECT_GT(backend.last_run().rescanned_symbols, 0);
+  EXPECT_LE(backend.last_run().rescanned_symbols,
+            static_cast<std::int64_t>(episodes.size()) *
+                static_cast<std::int64_t>(db.size()));
   std::int64_t total = 0;
   for (const auto n : backend.last_run().steal.chunks_by_worker) total += n;
   EXPECT_EQ(total, 8);

@@ -225,6 +225,56 @@ TEST(StreamingMonitorTest, RestoreRefusesAMismatchedStreamPrefix) {
   EXPECT_THROW((void)other.restore_monitor(snapshots.front()), gm::Error);
 }
 
+TEST(StreamingMonitorTest, IdleEvictionKeepsLiveEpisodeAlertsExact) {
+  // Two monitors over the same stream, identical except that one evicts the
+  // in-flight state of episodes idle for 3 batches.  Episode 0 keeps scoring
+  // every batch (live); episode 1 starts a match in the first batch and then
+  // sees nothing until its second symbol finally arrives long past the idle
+  // horizon.  Eviction must drop exactly that straddling occurrence — and
+  // nothing about the live episode's counts or alerts.
+  for (const core::ScanEngine engine :
+       {core::ScanEngine::kSingleScan, core::ScanEngine::kTrie}) {
+    MonitorSpec spec;
+    spec.name = "evict";
+    spec.episodes = {core::Episode({0, 1}), core::Episode({2, 3})};
+    spec.threshold = 5;
+    spec.engine = engine;
+    MonitorSpec evicting = spec;
+    evicting.idle_eviction_generations = 3;
+    StreamingMonitor plain(spec);
+    StreamingMonitor pruned(evicting);
+
+    const std::vector<std::vector<core::Symbol>> batches = {
+        {2}, {0, 1}, {0, 1}, {0, 1}, {0, 1}, {3}, {0, 1}};
+    std::vector<Alert> plain_alerts;
+    std::vector<Alert> pruned_alerts;
+    std::uint64_t generation = 1;
+    for (const auto& batch : batches) {
+      plain.on_append(batch, generation, plain_alerts);
+      pruned.on_append(batch, generation, pruned_alerts);
+      ++generation;
+    }
+
+    EXPECT_EQ(plain.idle_evictions(), 0);
+    EXPECT_EQ(pruned.idle_evictions(), 1) << "engine " << static_cast<int>(engine);
+    // The live episode is untouched: same exact counts, same single alert at
+    // the same crossing.
+    EXPECT_EQ(plain.counts()[0], pruned.counts()[0]);
+    ASSERT_EQ(plain_alerts.size(), pruned_alerts.size());
+    for (std::size_t i = 0; i < plain_alerts.size(); ++i) {
+      EXPECT_EQ(plain_alerts[i].episode_index, 0u);
+      EXPECT_EQ(plain_alerts[i].episode_index, pruned_alerts[i].episode_index);
+      EXPECT_EQ(plain_alerts[i].count, pruned_alerts[i].count);
+      EXPECT_EQ(plain_alerts[i].position, pruned_alerts[i].position);
+      EXPECT_EQ(plain_alerts[i].generation, pruned_alerts[i].generation);
+    }
+    // The idle episode's half-built match was really dropped: only the
+    // non-evicting monitor completes it when symbol 3 finally shows up.
+    EXPECT_EQ(plain.counts()[1], 1);
+    EXPECT_EQ(pruned.counts()[1], 0);
+  }
+}
+
 TEST(StreamingMonitorTest, TicksRecordEveryAppendBatch) {
   data::Dataset dataset = make_dataset(4, 40, 3);
   MiningSession session(std::move(dataset), serial_options());

@@ -178,7 +178,8 @@ TEST(ServiceSession, AppendKeepsCachesWarmWhereReloadInvalidates) {
   // it again hits, all with exact counts for the grown stream.
   data::Dataset dataset = make_dataset(6, 800, 21);
   std::vector<core::Symbol> full = dataset.events;
-  MiningSession session(dataset, {.backend = {.name = "cpu-serial"}});
+  MiningSession session(dataset,
+                        {.backend = {.name = "cpu-serial"}, .count_cache_capacity = 1});
 
   CountRequest request;
   request.episodes = {core::Episode({1, 2}), core::Episode({3, 4})};
@@ -205,6 +206,13 @@ TEST(ServiceSession, AppendKeepsCachesWarmWhereReloadInvalidates) {
   }
   EXPECT_EQ(regrown.counts, expected);
   EXPECT_EQ(session.count(request).disposition, Disposition::kCached);
+
+  // With capacity 1, caching the post-append answer pushed out the pre-append
+  // entry — an unreachable old-generation leftover, so the cache books it as
+  // a stale eviction, never capacity pressure (and reload never books either:
+  // its drops are invalidations, asserted above).
+  EXPECT_EQ(session.count_cache_stats().stale_evictions, 1u);
+  EXPECT_EQ(session.count_cache_stats().evictions, before.evictions);
 }
 
 TEST(ServiceSession, InvalidConfigsAreRejectedWithStableCodes) {
@@ -508,6 +516,24 @@ TEST(ResultCacheTest, LruEvictionAndStats) {
   cache.clear();
   EXPECT_EQ(cache.stats().invalidations, 2u);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, StaleGenerationExitsAreNotCapacityEvictions) {
+  ResultCache<int> cache(2);
+  cache.put(1, 100);
+  cache.put(2, 200);
+  cache.set_generation(1);  // an append: both resident entries go stale
+  cache.put(3, 300);        // pushes out stale entry 1
+  cache.put(4, 400);        // pushes out stale entry 2
+  EXPECT_EQ(cache.stats().stale_evictions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.put(5, 500);  // pushes out current-generation entry 3: real pressure
+  EXPECT_EQ(cache.stats().stale_evictions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.clear();  // a reload is an invalidation, not an eviction of any kind
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().stale_evictions, 2u);
 }
 
 TEST(ResultCacheTest, DigestSeparatesNearbyKeys) {
